@@ -1,0 +1,95 @@
+// Command dmclient invokes operations on deployed data-mining Web Services
+// from the command line — the scripted counterpart of dropping a service
+// tool onto the Triana workspace.
+//
+// Usage:
+//
+//	dmclient -url http://host:port/services/Classifier -op getClassifiers
+//	dmclient -url .../services/Classifier -op classifyInstance \
+//	         -part classifier=J48 -part attribute=Class -file dataset=breast.arff
+//	dmclient -registry http://host:port/registry -find classifier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+// partsFlag collects repeated -part name=value arguments.
+type partsFlag map[string]string
+
+func (p partsFlag) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p partsFlag) Set(s string) error {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	p[s[:eq]] = s[eq+1:]
+	return nil
+}
+
+// filePartsFlag collects repeated -file name=path arguments, loading the
+// file contents as the part value.
+type filePartsFlag struct{ parts partsFlag }
+
+func (f filePartsFlag) String() string { return f.parts.String() }
+
+func (f filePartsFlag) Set(s string) error {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	data, err := os.ReadFile(s[eq+1:])
+	if err != nil {
+		return err
+	}
+	f.parts[s[:eq]] = string(data)
+	return nil
+}
+
+func main() {
+	url := flag.String("url", "", "service endpoint URL")
+	op := flag.String("op", "", "operation name")
+	regURL := flag.String("registry", "", "registry base URL (for -find)")
+	find := flag.String("find", "", "inquire the registry for services in a category (use with -registry)")
+	parts := partsFlag{}
+	flag.Var(parts, "part", "operation input as name=value (repeatable)")
+	flag.Var(filePartsFlag{parts}, "file", "operation input as name=path, loading the file (repeatable)")
+	flag.Parse()
+
+	switch {
+	case *regURL != "":
+		c := &registry.Client{BaseURL: *regURL}
+		entries, err := c.Inquire("", *find)
+		if err != nil {
+			log.Fatalf("dmclient: %v", err)
+		}
+		for _, e := range entries {
+			fmt.Printf("%-24s %-20s %s\n", e.Name, e.Category, e.WSDLURL)
+		}
+	case *url != "" && *op != "":
+		out, err := soap.Call(*url, *op, parts)
+		if err != nil {
+			log.Fatalf("dmclient: %v", err)
+		}
+		keys := make([]string, 0, len(out))
+		for k := range out {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("=== %s ===\n%s\n", k, out[k])
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

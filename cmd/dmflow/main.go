@@ -1,0 +1,78 @@
+// Command dmflow executes a workflow XML file — the headless enactor
+// counterpart of pressing "run" in the composition workspace. Progress
+// events (started / finished / failed / retried) stream to stderr; final
+// task outputs print to stdout.
+//
+// Usage:
+//
+//	dmflow workflow.xml
+//	dmflow -dax workflow.xml      # print the GriPhyN DAX export instead
+//	dmflow -sequential workflow.xml
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+func main() {
+	dax := flag.Bool("dax", false, "print the DAX export of the workflow instead of running it")
+	sequential := flag.Bool("sequential", false, "disable parallel task execution")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("dmflow: %v", err)
+	}
+	g, err := workflow.UnmarshalXML(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("dmflow: %v", err)
+	}
+	if *dax {
+		doc, err := workflow.MarshalDAX(g)
+		if err != nil {
+			log.Fatalf("dmflow: %v", err)
+		}
+		os.Stdout.Write(doc)
+		return
+	}
+	eng := workflow.NewEngine()
+	eng.Parallel = !*sequential
+	eng.Monitor = func(ev workflow.Event) {
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "[%s] %s (%s) attempt %d: %v\n",
+				ev.Kind, ev.TaskID, ev.UnitName, ev.Attempt, ev.Err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "[%s] %s (%s)\n", ev.Kind, ev.TaskID, ev.UnitName)
+	}
+	res, err := eng.Run(context.Background(), g)
+	if err != nil {
+		log.Fatalf("dmflow: %v", err)
+	}
+	ids := make([]string, 0, len(res.Outputs))
+	for id := range res.Outputs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ports := make([]string, 0, len(res.Outputs[id]))
+		for p := range res.Outputs[id] {
+			ports = append(ports, p)
+		}
+		sort.Strings(ports)
+		for _, p := range ports {
+			fmt.Printf("=== %s.%s ===\n%s\n", id, p, res.Outputs[id][p])
+		}
+	}
+}

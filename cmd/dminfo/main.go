@@ -1,0 +1,76 @@
+// Command dminfo prints the dataset statistics block of the paper's
+// Figure 3 for an ARFF or CSV file (or for the embedded breast-cancer
+// replica when run with -embedded breast-cancer).
+//
+// Usage:
+//
+//	dminfo file.arff
+//	dminfo -format csv file.csv
+//	dminfo -embedded breast-cancer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/arff"
+	"repro/internal/csvconv"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func main() {
+	format := flag.String("format", "", "input format: arff or csv (default: by extension)")
+	embedded := flag.String("embedded", "", "print an embedded dataset: breast-cancer, weather, weather-numeric, contact-lenses")
+	flag.Parse()
+
+	var d *dataset.Dataset
+	switch {
+	case *embedded != "":
+		switch *embedded {
+		case "breast-cancer":
+			d = datagen.BreastCancer()
+		case "weather":
+			d = datagen.Weather()
+		case "weather-numeric":
+			d = datagen.WeatherNumeric()
+		case "contact-lenses":
+			d = datagen.ContactLenses()
+		default:
+			log.Fatalf("dminfo: unknown embedded dataset %q", *embedded)
+		}
+	case flag.NArg() == 1:
+		path := flag.Arg(0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("dminfo: %v", err)
+		}
+		f := *format
+		if f == "" {
+			if strings.HasSuffix(strings.ToLower(path), ".csv") {
+				f = "csv"
+			} else {
+				f = "arff"
+			}
+		}
+		switch f {
+		case "arff":
+			d, err = arff.ParseString(string(data))
+		case "csv":
+			d, err = csvconv.ParseString(string(data), csvconv.Options{HasHeader: true})
+		default:
+			log.Fatalf("dminfo: unknown format %q", f)
+		}
+		if err != nil {
+			log.Fatalf("dminfo: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("Relation: %s\n\n", d.Relation)
+	fmt.Print(dataset.Summarize(d).Format())
+}

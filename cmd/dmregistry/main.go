@@ -1,0 +1,27 @@
+// Command dmregistry runs a standalone UDDI-style service registry — the
+// jUDDI role of the paper's deployment, whose inquiry interface the paper
+// publishes at agents-comsc.grid.cf.ac.uk:8334/juddi/inquiry (§4.6).
+//
+// Usage:
+//
+//	dmregistry [-addr 127.0.0.1:8335]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8335", "listen address")
+	flag.Parse()
+	r := registry.New()
+	fmt.Printf("dmregistry listening on http://%s (GET /inquiry, POST /publish, POST /remove)\n", *addr)
+	if err := http.ListenAndServe(*addr, r.Handler()); err != nil {
+		log.Fatalf("dmregistry: %v", err)
+	}
+}

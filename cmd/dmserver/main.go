@@ -1,0 +1,68 @@
+// Command dmserver hosts the toolkit's data-mining Web Services — the
+// Tomcat/Axis role of the paper's deployment (§4.5, §5.1). Every service is
+// served under /services/<name> (POST = SOAP, GET = WSDL) together with a
+// UDDI-style registry under /registry.
+//
+// Usage:
+//
+//	dmserver [-addr 127.0.0.1:8334] [-backend cached|serialising] [-cache 64] [-store DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8334", "listen address")
+	backendKind := flag.String("backend", "cached",
+		"instance management strategy: cached (the §4.5 harness) or serialising (naive per-call round trip)")
+	cacheSize := flag.Int("cache", 64, "instance pool bound for the cached backend")
+	storeDir := flag.String("store", "", "model store directory (default: a temp dir; required meaningfully for -backend serialising)")
+	flag.Parse()
+
+	var backend harness.Backend
+	switch *backendKind {
+	case "cached":
+		backend = harness.NewCachedBackend(*cacheSize)
+	case "serialising":
+		dir := *storeDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "dmserver-models")
+			if err != nil {
+				log.Fatalf("dmserver: %v", err)
+			}
+		}
+		store, err := model.NewStore(dir)
+		if err != nil {
+			log.Fatalf("dmserver: %v", err)
+		}
+		backend = &harness.SerialisingBackend{Store: store}
+	default:
+		log.Fatalf("dmserver: unknown backend %q", *backendKind)
+	}
+
+	d, err := core.Deploy(*addr, backend)
+	if err != nil {
+		log.Fatalf("dmserver: %v", err)
+	}
+	fmt.Printf("dmserver listening on %s (backend: %s)\n", d.BaseURL, *backendKind)
+	fmt.Printf("registry inquiry: %s/inquiry\n", d.RegistryURL())
+	for _, name := range d.ServiceNames() {
+		fmt.Printf("  service %-20s %s\n", name, d.WSDLURL(name))
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if err := d.Close(); err != nil {
+		log.Fatalf("dmserver: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Casestudy reproduces §5 end-to-end: deploy the data-mining Web Services
+// locally, compose the Figure-1 workflow (getClassifiers →
+// ClassifierSelector → getOptions → OptionSelector → classifyInstance →
+// TreeViewer, fed by LocalDataset and AttributeSelector), run it over live
+// SOAP, analyse the resulting tree with the TreeAnalyzer service, and
+// export the workflow graph as XML and GriPhyN DAX.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/arff"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/soap"
+	"repro/internal/workflow"
+)
+
+func main() {
+	// Host every Web Service (the Tomcat/Axis role, §5.1) with the §4.5
+	// in-memory harness managing algorithm instances.
+	dep, err := core.Deploy("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	fmt.Printf("services deployed at %s\n", dep.BaseURL)
+	for _, e := range dep.Registry.Inquire("", "") {
+		fmt.Printf("  %-20s %-20s %s\n", e.Name, e.Category, e.WSDLURL)
+	}
+
+	// Compose the Figure-1 workflow. Importing the Classifier WSDL creates
+	// one tool per operation, exactly as in Triana (§4).
+	tk := core.NewToolkit()
+	arffText := arff.Format(datagen.BreastCancer())
+	g, viewer, err := core.BuildCaseStudyWorkflow(tk, dep, arffText, "J48", "Class")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Execute with progress monitoring (§3's service-monitoring
+	// requirement).
+	eng := workflow.NewEngine()
+	eng.Monitor = func(ev workflow.Event) {
+		fmt.Printf("  [%s] %s\n", ev.Kind, ev.TaskID)
+	}
+	fmt.Println("\nrunning the case-study workflow:")
+	res, err := eng.Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== TreeViewer output (Figure 4) ==")
+	for _, tree := range viewer.Seen() {
+		fmt.Print(tree)
+	}
+	if acc, ok := res.Value("classify", "accuracy"); ok {
+		fmt.Printf("\ntraining accuracy reported by the service: %s\n", acc)
+	}
+
+	// The case study's third service: analyse the decision-tree output.
+	tree, _ := res.Value("classify", "model")
+	analysis, err := soap.Call(dep.EndpointURL("TreeAnalyzer"), "analyze",
+		map[string]string{"tree": tree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== TreeAnalyzer service ==")
+	fmt.Printf("root attribute: %s\nleaves: %s\ndepth: %s\nattributes used:\n%s\n",
+		analysis["root"], analysis["leaves"], analysis["depth"], analysis["attributes"])
+	fmt.Println("rules:")
+	fmt.Println(analysis["rules"])
+
+	// Export the graph: Triana's XML format and the GriPhyN DAX standard
+	// (§2). The local selector tools are swapped for const stand-ins, since
+	// only service and data tools serialise.
+	dax, err := workflow.MarshalDAX(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== GriPhyN DAX export ==")
+	fmt.Print(string(dax))
+}

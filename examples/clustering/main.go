@@ -1,0 +1,63 @@
+// Clustering exercises the second service family of §4.1: Cobweb (with its
+// concept-hierarchy graph), k-means, EM and hierarchical clustering, with
+// the toolkit's cluster visualisers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/viz"
+)
+
+func main() {
+	// Cobweb over the nominal weather data — the paper's named example.
+	weather := datagen.Weather()
+	cw := &cluster.Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+	if err := cw.Build(weather); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Cobweb concept hierarchy (getCobwebGraph) ==")
+	fmt.Print(cw.GraphString())
+	fmt.Println("as DOT for the tree plotter:")
+	fmt.Print(viz.CobwebDOT(cw.Root()))
+
+	// k-means and EM over planted Gaussians, evaluated against the ground
+	// truth.
+	gauss := datagen.GaussianClusters(3, 300, 2, 10, 1)
+	for _, c := range []cluster.Clusterer{
+		&cluster.KMeans{K: 3, MaxIter: 100, Seed: 1},
+		&cluster.EM{K: 3, MaxIter: 60, Seed: 1, Tol: 1e-6},
+		&cluster.FarthestFirst{K: 3, Seed: 1},
+	} {
+		if err := c.Build(gauss); err != nil {
+			log.Fatal(err)
+		}
+		assign, err := cluster.Assignments(c, gauss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		purity, err := cluster.Purity(gauss, assign, c.NumClusters())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sse, err := cluster.SSE(gauss, assign, c.NumClusters())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== %s ==\npurity %.3f, SSE %.1f\n", c.Name(), purity, sse)
+		fmt.Print(viz.ClusterSummary(assign, c.NumClusters()))
+	}
+
+	// Hierarchical clustering with a dendrogram, the Cluster Visualizer's
+	// agglomerative view.
+	small := datagen.GaussianClusters(2, 16, 2, 8, 2)
+	h := &cluster.Hierarchical{K: 2, Linkage: cluster.AverageLink}
+	if err := h.Build(small); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Hierarchical dendrogram ==")
+	fmt.Print(viz.Dendrogram(h.Merges(), small.NumInstances()))
+}

@@ -1,0 +1,78 @@
+// Database demonstrates the OGSA-DAI-style integration the paper names as
+// work underway (§5.4): a relational resource exposed as a Web Service is
+// queried, the result is filtered, association rules are mined from it,
+// and a classifier is trained — all over SOAP, composing four services.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+)
+
+func main() {
+	dep, err := core.Deploy("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	da := dep.EndpointURL("DataAccess")
+
+	// Discover the relational resources.
+	out, err := soap.Call(da, "listTables", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tables: %s\n", strings.ReplaceAll(out["tables"], "\n", ", "))
+
+	out, err = soap.Call(da, "describe", map[string]string{"table": "breast_cancer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nschema of breast_cancer:")
+	fmt.Println(out["schema"])
+
+	// Query: tumours with node capsule involvement, projected to the
+	// clinically interesting columns.
+	out, err = soap.Call(da, "query", map[string]string{
+		"table":   "breast_cancer",
+		"columns": "age,menopause,deg-malig,irradiat,Class",
+		"where":   "node-caps=yes",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query node-caps=yes returned %s rows\n", out["rows"])
+
+	// Mine association rules from the query result.
+	rules, err := soap.Call(dep.EndpointURL("AssociationRules"), "mine", map[string]string{
+		"dataset":       out["arff"],
+		"minSupport":    "0.15",
+		"minConfidence": "0.85",
+		"maxRules":      "8",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop association rules among node-caps=yes cases (%s total):\n%s\n",
+		rules["ruleCount"], rules["rules"])
+
+	// Train a classifier on the full table pulled through the same service.
+	full, err := soap.Call(da, "query", map[string]string{"table": "breast_cancer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := soap.Call(dep.EndpointURL("Classifier"), "classifyInstance", map[string]string{
+		"dataset":    full["arff"],
+		"classifier": "NaiveBayes",
+		"attribute":  "Class",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NaiveBayes on the full table: accuracy %s\n", model["accuracy"])
+}

@@ -1,0 +1,520 @@
+package attrsel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Search explores the space of attribute subsets with a subset evaluator.
+type Search interface {
+	Name() string
+	// Search returns the selected attribute columns (class excluded),
+	// sorted ascending.
+	Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error)
+}
+
+// candidateColumns lists the selectable columns of d.
+func candidateColumns(d *dataset.Dataset) []int {
+	var cols []int
+	for i, a := range d.Attrs {
+		if i != d.ClassIndex && !a.IsString() {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// Ranking holds a ranked attribute list produced by RankAttributes.
+type Ranking struct {
+	Columns []int
+	Names   []string
+	Merits  []float64
+}
+
+// RankAttributes scores every candidate attribute with a single-attribute
+// evaluator and returns them best-first — the Ranker search.
+func RankAttributes(eval AttributeEvaluator, d *dataset.Dataset) (Ranking, error) {
+	if err := eval.Prepare(d); err != nil {
+		return Ranking{}, err
+	}
+	cols := candidateColumns(d)
+	type scored struct {
+		col   int
+		merit float64
+	}
+	ss := make([]scored, 0, len(cols))
+	for _, c := range cols {
+		m, err := eval.Evaluate(c)
+		if err != nil {
+			return Ranking{}, err
+		}
+		ss = append(ss, scored{c, m})
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].merit > ss[j].merit })
+	r := Ranking{}
+	for _, s := range ss {
+		r.Columns = append(r.Columns, s.col)
+		r.Names = append(r.Names, d.Attrs[s.col].Name)
+		r.Merits = append(r.Merits, s.merit)
+	}
+	return r, nil
+}
+
+// GreedyForward adds the best attribute until no addition improves merit.
+type GreedyForward struct{}
+
+// Name implements Search.
+func (GreedyForward) Name() string { return "GreedyStepwise(forward)" }
+
+// Search implements Search.
+func (GreedyForward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	cols := candidateColumns(d)
+	in := map[int]bool{}
+	var current []int
+	best := 0.0
+	for {
+		improved := false
+		bestCol, bestMerit := -1, best
+		for _, c := range cols {
+			if in[c] {
+				continue
+			}
+			m, err := eval.EvaluateSubset(append(append([]int(nil), current...), c))
+			if err != nil {
+				return nil, err
+			}
+			if m > bestMerit+1e-12 {
+				bestCol, bestMerit = c, m
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		in[bestCol] = true
+		current = append(current, bestCol)
+		best = bestMerit
+	}
+	sort.Ints(current)
+	return current, nil
+}
+
+// GreedyBackward starts from the full set and removes attributes while
+// removal does not hurt merit.
+type GreedyBackward struct{}
+
+// Name implements Search.
+func (GreedyBackward) Name() string { return "GreedyStepwise(backward)" }
+
+// Search implements Search.
+func (GreedyBackward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	current := candidateColumns(d)
+	best, err := eval.EvaluateSubset(current)
+	if err != nil {
+		return nil, err
+	}
+	for len(current) > 1 {
+		bestIdx, bestMerit := -1, best
+		for i := range current {
+			trial := make([]int, 0, len(current)-1)
+			trial = append(trial, current[:i]...)
+			trial = append(trial, current[i+1:]...)
+			m, err := eval.EvaluateSubset(trial)
+			if err != nil {
+				return nil, err
+			}
+			if m >= bestMerit-1e-12 {
+				bestIdx, bestMerit = i, m
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		current = append(current[:bestIdx], current[bestIdx+1:]...)
+		best = bestMerit
+	}
+	sort.Ints(current)
+	return current, nil
+}
+
+// BestFirst is greedy forward search with limited backtracking: it keeps an
+// open list of expanded subsets and stops after MaxStale non-improving
+// expansions (WEKA's default search).
+type BestFirst struct {
+	MaxStale int
+}
+
+// Name implements Search.
+func (BestFirst) Name() string { return "BestFirst" }
+
+// Search implements Search.
+func (b BestFirst) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	if b.MaxStale == 0 {
+		b.MaxStale = 5
+	}
+	cols := candidateColumns(d)
+	type node struct {
+		set   []int
+		merit float64
+	}
+	keyOf := func(set []int) string {
+		bts := make([]byte, 0, len(set)*3)
+		for _, c := range set {
+			bts = appendInt(bts, c)
+			bts = append(bts, ',')
+		}
+		return string(bts)
+	}
+	visited := map[string]bool{"": true}
+	open := []node{{nil, 0}}
+	bestSet, bestMerit := []int(nil), 0.0
+	stale := 0
+	for len(open) > 0 && stale < b.MaxStale {
+		// Pop the best open node.
+		bi := 0
+		for i := range open {
+			if open[i].merit > open[bi].merit {
+				bi = i
+			}
+		}
+		cur := open[bi]
+		open = append(open[:bi], open[bi+1:]...)
+		improvedBest := false
+		for _, c := range cols {
+			if containsInt(cur.set, c) {
+				continue
+			}
+			child := append(append([]int(nil), cur.set...), c)
+			sort.Ints(child)
+			k := keyOf(child)
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			m, err := eval.EvaluateSubset(child)
+			if err != nil {
+				return nil, err
+			}
+			open = append(open, node{child, m})
+			if m > bestMerit+1e-12 {
+				bestSet, bestMerit = child, m
+				improvedBest = true
+			}
+		}
+		if improvedBest {
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	out := append([]int(nil), bestSet...)
+	sort.Ints(out)
+	return out, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomSearch samples random subsets and keeps the best.
+type RandomSearch struct {
+	Trials int
+	Seed   int64
+}
+
+// Name implements Search.
+func (RandomSearch) Name() string { return "RandomSearch" }
+
+// Search implements Search.
+func (r RandomSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	if r.Trials == 0 {
+		r.Trials = 100
+	}
+	cols := candidateColumns(d)
+	rng := rand.New(rand.NewSource(r.Seed))
+	var bestSet []int
+	best := -1.0
+	for t := 0; t < r.Trials; t++ {
+		var set []int
+		for _, c := range cols {
+			if rng.Float64() < 0.5 {
+				set = append(set, c)
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		m, err := eval.EvaluateSubset(set)
+		if err != nil {
+			return nil, err
+		}
+		if m > best {
+			best, bestSet = m, set
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet, nil
+}
+
+// Exhaustive enumerates every non-empty subset (guarded to <= 20 columns).
+type Exhaustive struct{}
+
+// Name implements Search.
+func (Exhaustive) Name() string { return "Exhaustive" }
+
+// Search implements Search.
+func (Exhaustive) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	cols := candidateColumns(d)
+	if len(cols) > 20 {
+		return nil, fmt.Errorf("attrsel: exhaustive search over %d attributes is infeasible", len(cols))
+	}
+	var bestSet []int
+	best := -1.0
+	for mask := 1; mask < 1<<len(cols); mask++ {
+		var set []int
+		for i, c := range cols {
+			if mask&(1<<i) != 0 {
+				set = append(set, c)
+			}
+		}
+		m, err := eval.EvaluateSubset(set)
+		if err != nil {
+			return nil, err
+		}
+		if m > best || (m == best && len(set) < len(bestSet)) {
+			best, bestSet = m, set
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet, nil
+}
+
+// GeneticSearch is a simple generational GA over attribute bitmasks with
+// tournament selection, uniform crossover and bit-flip mutation — the
+// "genetic search operator" of §1 used in §5.3 to automate attribute
+// selection.
+type GeneticSearch struct {
+	Population  int
+	Generations int
+	CrossonProb float64
+	MutateProb  float64
+	Seed        int64
+}
+
+// Name implements Search.
+func (GeneticSearch) Name() string { return "GeneticSearch" }
+
+// Search implements Search.
+func (g GeneticSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+	if err := eval.Prepare(d); err != nil {
+		return nil, err
+	}
+	if g.Population == 0 {
+		g.Population = 20
+	}
+	if g.Generations == 0 {
+		g.Generations = 20
+	}
+	if g.CrossonProb == 0 {
+		g.CrossonProb = 0.6
+	}
+	if g.MutateProb == 0 {
+		g.MutateProb = 0.033
+	}
+	cols := candidateColumns(d)
+	n := len(cols)
+	if n == 0 {
+		return nil, fmt.Errorf("attrsel: no candidate attributes")
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	type genome struct {
+		bits []bool
+		fit  float64
+	}
+	decode := func(bits []bool) []int {
+		var set []int
+		for i, b := range bits {
+			if b {
+				set = append(set, cols[i])
+			}
+		}
+		return set
+	}
+	fitness := func(bits []bool) (float64, error) {
+		set := decode(bits)
+		if len(set) == 0 {
+			return 0, nil
+		}
+		return eval.EvaluateSubset(set)
+	}
+	pop := make([]genome, g.Population)
+	for i := range pop {
+		bits := make([]bool, n)
+		for j := range bits {
+			bits[j] = rng.Float64() < 0.5
+		}
+		f, err := fitness(bits)
+		if err != nil {
+			return nil, err
+		}
+		pop[i] = genome{bits, f}
+	}
+	bestBits, bestFit := append([]bool(nil), pop[0].bits...), pop[0].fit
+	for _, p := range pop {
+		if p.fit > bestFit {
+			bestBits, bestFit = append([]bool(nil), p.bits...), p.fit
+		}
+	}
+	tournament := func() genome {
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.fit >= b.fit {
+			return a
+		}
+		return b
+	}
+	for gen := 0; gen < g.Generations; gen++ {
+		next := make([]genome, 0, g.Population)
+		// Elitism: carry the best genome forward unchanged.
+		next = append(next, genome{append([]bool(nil), bestBits...), bestFit})
+		for len(next) < g.Population {
+			p1, p2 := tournament(), tournament()
+			child := make([]bool, n)
+			if rng.Float64() < g.CrossonProb {
+				for j := range child {
+					if rng.Float64() < 0.5 {
+						child[j] = p1.bits[j]
+					} else {
+						child[j] = p2.bits[j]
+					}
+				}
+			} else {
+				copy(child, p1.bits)
+			}
+			for j := range child {
+				if rng.Float64() < g.MutateProb {
+					child[j] = !child[j]
+				}
+			}
+			f, err := fitness(child)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, genome{child, f})
+			if f > bestFit {
+				bestBits, bestFit = append([]bool(nil), child...), f
+			}
+		}
+		pop = next
+	}
+	out := decode(bestBits)
+	sort.Ints(out)
+	return out, nil
+}
+
+// Approaches enumerates the named evaluator×search combinations shipped by
+// the toolkit, reproducing (and exceeding) the paper's "20 different
+// approaches" to attribute search and selection.
+func Approaches() []string {
+	evaluators := []string{"CfsSubset", "ConsistencySubset", "WrapperSubset",
+		"InfoGain+mean", "GainRatio+mean", "SymmetricalUncertainty+mean", "ChiSquared+mean"}
+	searches := []string{"BestFirst", "GreedyStepwise(forward)", "GreedyStepwise(backward)",
+		"GeneticSearch", "RandomSearch", "Exhaustive"}
+	var out []string
+	for _, e := range evaluators {
+		for _, s := range searches {
+			out = append(out, e+"/"+s)
+		}
+	}
+	for _, e := range []string{"InfoGain", "GainRatio", "SymmetricalUncertainty",
+		"ChiSquared", "OneRAccuracy", "Correlation", "ReliefF"} {
+		out = append(out, e+"/Ranker")
+	}
+	return out
+}
+
+// NewSubsetEvaluator constructs a subset evaluator by approach name.
+func NewSubsetEvaluator(name string) (SubsetEvaluator, error) {
+	switch name {
+	case "CfsSubset":
+		return &CFS{}, nil
+	case "ConsistencySubset":
+		return &Consistency{}, nil
+	case "WrapperSubset":
+		return &Wrapper{}, nil
+	case "InfoGain+mean":
+		return &RankerAdapter{Inner: &InfoGain{}}, nil
+	case "GainRatio+mean":
+		return &RankerAdapter{Inner: &GainRatio{}}, nil
+	case "SymmetricalUncertainty+mean":
+		return &RankerAdapter{Inner: &SymmetricalUncertainty{}}, nil
+	case "ChiSquared+mean":
+		return &RankerAdapter{Inner: &ChiSquared{}}, nil
+	default:
+		return nil, fmt.Errorf("attrsel: unknown subset evaluator %q", name)
+	}
+}
+
+// NewAttributeEvaluator constructs a single-attribute evaluator by name.
+func NewAttributeEvaluator(name string) (AttributeEvaluator, error) {
+	switch name {
+	case "InfoGain":
+		return &InfoGain{}, nil
+	case "GainRatio":
+		return &GainRatio{}, nil
+	case "SymmetricalUncertainty":
+		return &SymmetricalUncertainty{}, nil
+	case "ChiSquared":
+		return &ChiSquared{}, nil
+	case "OneRAccuracy":
+		return &OneRAccuracy{}, nil
+	case "Correlation":
+		return &Correlation{}, nil
+	case "ReliefF":
+		return &ReliefF{}, nil
+	default:
+		return nil, fmt.Errorf("attrsel: unknown attribute evaluator %q", name)
+	}
+}
+
+// NewSearch constructs a search strategy by name.
+func NewSearch(name string) (Search, error) {
+	switch name {
+	case "BestFirst":
+		return BestFirst{}, nil
+	case "GreedyStepwise(forward)":
+		return GreedyForward{}, nil
+	case "GreedyStepwise(backward)":
+		return GreedyBackward{}, nil
+	case "GeneticSearch":
+		return GeneticSearch{}, nil
+	case "RandomSearch":
+		return RandomSearch{}, nil
+	case "Exhaustive":
+		return Exhaustive{}, nil
+	default:
+		return nil, fmt.Errorf("attrsel: unknown search %q", name)
+	}
+}

@@ -1,0 +1,192 @@
+// Package classify implements the classifier substrate of the toolkit: the
+// algorithm families the paper's general Classifier Web Service exposes via
+// its getClassifiers / getOptions / classifyInstance operations (§4.1).
+//
+// Every classifier implements Classifier; classifiers with tunable run-time
+// parameters additionally implement Parameterized so the service layer can
+// answer getOptions; incremental learners implement Updateable so they can
+// consume remote data streams (§1, §3).
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Classifier is a trainable model over a dataset with a nominal class.
+type Classifier interface {
+	// Name returns the algorithm's registry name (e.g. "J48").
+	Name() string
+	// Train builds the model from the dataset's instances. The dataset's
+	// ClassIndex must designate a nominal class attribute.
+	Train(d *dataset.Dataset) error
+	// Distribution returns the per-class-label probability estimate for the
+	// instance. The slice is indexed by class-label index.
+	Distribution(in *dataset.Instance) ([]float64, error)
+}
+
+// Parameterized exposes run-time options, mirroring the getOptions operation
+// of the general Classifier Web Service.
+type Parameterized interface {
+	// Options describes the parameters the algorithm accepts.
+	Options() []Option
+	// SetOption sets a parameter by name from its string spelling.
+	SetOption(name, value string) error
+}
+
+// Updateable marks classifiers that can learn one instance at a time
+// (streamed data, §3's "streaming of data from a remote machine").
+type Updateable interface {
+	Classifier
+	// Begin prepares the model for incremental updates against the schema.
+	Begin(schema *dataset.Dataset) error
+	// Update folds one instance into the model.
+	Update(in *dataset.Instance) error
+}
+
+// Option describes one run-time parameter of an algorithm, the unit of the
+// getOptions reply.
+type Option struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Default     string `json:"default"`
+	Required    bool   `json:"required"`
+}
+
+// Predict returns the index of the most probable class label.
+func Predict(c Classifier, in *dataset.Instance) (int, error) {
+	dist, err := c.Distribution(in)
+	if err != nil {
+		return -1, err
+	}
+	if len(dist) == 0 {
+		return -1, fmt.Errorf("classify: %s returned an empty distribution", c.Name())
+	}
+	best, bestP := 0, dist[0]
+	for i, p := range dist {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best, nil
+}
+
+// Factory constructs a fresh, untrained classifier.
+type Factory func() Classifier
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a classifier factory under name. It panics on duplicates;
+// registration happens in package init functions.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("classify: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// New constructs a registered classifier by name.
+func New(name string) (Classifier, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("classify: unknown classifier %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the sorted registry names — the getClassifiers reply.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OptionsFor returns the option descriptors for a registered classifier, or
+// an empty list when it has no tunable parameters.
+func OptionsFor(name string) ([]Option, error) {
+	c, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := c.(Parameterized); ok {
+		return p.Options(), nil
+	}
+	return nil, nil
+}
+
+// Configure applies name=value options to a classifier, failing on unknown
+// names when the classifier is Parameterized and on any option otherwise.
+func Configure(c Classifier, opts map[string]string) error {
+	if len(opts) == 0 {
+		return nil
+	}
+	p, ok := c.(Parameterized)
+	if !ok {
+		return fmt.Errorf("classify: %s accepts no options", c.Name())
+	}
+	// Apply in sorted order for determinism of error reporting.
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := p.SetOption(k, opts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTrainable validates a dataset for supervised training.
+func checkTrainable(d *dataset.Dataset) error {
+	if d == nil || d.NumInstances() == 0 {
+		return fmt.Errorf("classify: empty training set")
+	}
+	ca := d.ClassAttribute()
+	if ca == nil {
+		return fmt.Errorf("classify: dataset %q has no class attribute", d.Relation)
+	}
+	if !ca.IsNominal() {
+		return fmt.Errorf("classify: class attribute %q is not nominal", ca.Name)
+	}
+	if ca.NumValues() < 2 {
+		return fmt.Errorf("classify: class attribute %q has %d labels; need at least 2",
+			ca.Name, ca.NumValues())
+	}
+	return nil
+}
+
+// normalize scales dist to sum to one; an all-zero dist becomes uniform.
+func normalize(dist []float64) []float64 {
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(dist))
+		for i := range dist {
+			dist[i] = u
+		}
+		return dist
+	}
+	for i := range dist {
+		dist[i] /= sum
+	}
+	return dist
+}

@@ -1,0 +1,400 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// RandomTree grows an unpruned decision tree considering a random subset of
+// sqrt(#attributes) candidates at each split; the building block of
+// RandomForest.
+type RandomTree struct {
+	Seed    int64
+	MinLeaf float64
+
+	root       *TreeNode
+	classAttr  *dataset.Attribute
+	classIndex int
+	rng        *rand.Rand
+}
+
+func init() {
+	Register("RandomTree", func() Classifier { return &RandomTree{Seed: 1, MinLeaf: 1} })
+}
+
+// Name implements Classifier.
+func (t *RandomTree) Name() string { return "RandomTree" }
+
+// Train implements Classifier.
+func (t *RandomTree) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	d = d.DeleteWithMissingClass()
+	t.classAttr = d.ClassAttribute()
+	t.classIndex = d.ClassIndex
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	work := make([]*dataset.Instance, d.NumInstances())
+	copy(work, d.Instances)
+	t.root = t.grow(d, work, 0)
+	return nil
+}
+
+func (t *RandomTree) grow(d *dataset.Dataset, ins []*dataset.Instance, depth int) *TreeNode {
+	node := &TreeNode{Attr: -1, Dist: classDist(ins, t.classIndex, t.classAttr.NumValues())}
+	node.ClassIdx = maxIdx(node.Dist)
+	node.ClassName = t.classAttr.Value(node.ClassIdx)
+	total := sum(node.Dist)
+	if total < 2*t.MinLeaf || node.Dist[node.ClassIdx] == total || depth > 40 {
+		return node
+	}
+	// Candidate attributes: a random sqrt-sized subset.
+	var candidates []int
+	for col := range d.Attrs {
+		if col != t.classIndex && !d.Attrs[col].IsString() {
+			candidates = append(candidates, col)
+		}
+	}
+	t.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	m := int(math.Sqrt(float64(len(candidates)))) + 1
+	if m > len(candidates) {
+		m = len(candidates)
+	}
+	helper := &J48{MinLeaf: t.MinLeaf, ConfidenceFactor: 0.25}
+	helper.classAttr = t.classAttr
+	helper.classIndex = t.classIndex
+	baseH := dataset.Entropy(node.Dist)
+	totalW := weightOf(ins)
+	bestAttr, bestTh, bestGain := -1, 0.0, 0.0
+	for _, col := range candidates[:m] {
+		a := d.Attrs[col]
+		var g, si, th float64
+		if a.IsNominal() {
+			g, si = helper.nominalGain(ins, col, a.NumValues(), baseH, totalW)
+		} else {
+			g, si, th = helper.numericGain(ins, col, baseH, totalW)
+		}
+		_ = si
+		if g > bestGain {
+			bestAttr, bestTh, bestGain = col, th, g
+		}
+	}
+	if bestAttr < 0 {
+		return node
+	}
+	branches, labels := helper.partition(d, ins, bestAttr, bestTh)
+	nonEmpty := 0
+	for _, b := range branches {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return node
+	}
+	a := d.Attrs[bestAttr]
+	node.Attr = bestAttr
+	node.AttrName = a.Name
+	node.Numeric = a.IsNumeric()
+	node.Threshold = bestTh
+	node.Labels = labels
+	node.Children = make([]*TreeNode, len(branches))
+	for i, b := range branches {
+		if len(b) == 0 {
+			leaf := &TreeNode{Attr: -1, Dist: make([]float64, len(node.Dist))}
+			leaf.ClassIdx = node.ClassIdx
+			leaf.ClassName = node.ClassName
+			node.Children[i] = leaf
+			continue
+		}
+		node.Children[i] = t.grow(d, b, depth+1)
+	}
+	return node
+}
+
+// Distribution implements Classifier.
+func (t *RandomTree) Distribution(in *dataset.Instance) ([]float64, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("classify: RandomTree is untrained")
+	}
+	helper := &J48{}
+	helper.classAttr = t.classAttr
+	helper.root = t.root
+	return helper.Distribution(in)
+}
+
+// Bagging trains Size base classifiers on bootstrap resamples and averages
+// their distributions. Base models train in parallel across goroutines —
+// the "multiple computational resources" idea of Grid WEKA realised on a
+// shared-memory host.
+type Bagging struct {
+	Size int
+	Seed int64
+	// Base constructs each base learner; defaults to unpruned J48.
+	Base func() Classifier
+
+	members []Classifier
+}
+
+func init() { Register("Bagging", func() Classifier { return &Bagging{Size: 10, Seed: 1} }) }
+
+// Name implements Classifier.
+func (b *Bagging) Name() string { return "Bagging" }
+
+// Options implements Parameterized.
+func (b *Bagging) Options() []Option {
+	return []Option{
+		{Name: "size", Description: "number of bagged models", Default: "10"},
+		{Name: "seed", Description: "bootstrap seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (b *Bagging) SetOption(name, value string) error {
+	switch name {
+	case "size":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: Bagging size must be a positive integer, got %q", value)
+		}
+		b.Size = n
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("classify: Bagging seed must be an integer, got %q", value)
+		}
+		b.Seed = n
+	default:
+		return fmt.Errorf("classify: Bagging has no option %q", name)
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (b *Bagging) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	base := b.Base
+	if base == nil {
+		base = func() Classifier {
+			j := NewJ48()
+			j.Unpruned = true
+			return j
+		}
+	}
+	b.members = make([]Classifier, b.Size)
+	errs := make([]error, b.Size)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < b.Size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(b.Seed + int64(i)))
+			sample := dataset.Resample(d, d.NumInstances(), rng)
+			m := base()
+			if rt, ok := m.(*RandomTree); ok {
+				rt.Seed = b.Seed + int64(i)
+			}
+			if err := m.Train(sample); err != nil {
+				errs[i] = err
+				return
+			}
+			b.members[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("classify: Bagging member failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Distribution implements Classifier.
+func (b *Bagging) Distribution(in *dataset.Instance) ([]float64, error) {
+	if len(b.members) == 0 {
+		return nil, fmt.Errorf("classify: Bagging is untrained")
+	}
+	var out []float64
+	for _, m := range b.members {
+		dist, err := m.Distribution(in)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make([]float64, len(dist))
+		}
+		for c, p := range dist {
+			out[c] += p
+		}
+	}
+	return normalize(out), nil
+}
+
+// RandomForest is Bagging over RandomTree members.
+type RandomForest struct {
+	Bagging
+}
+
+func init() {
+	Register("RandomForest", func() Classifier {
+		f := &RandomForest{}
+		f.Size = 20
+		f.Seed = 1
+		f.Base = func() Classifier { return &RandomTree{Seed: 1, MinLeaf: 1} }
+		return f
+	})
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "RandomForest" }
+
+// AdaBoostM1 implements the AdaBoost.M1 boosting meta-algorithm over
+// decision stumps (or any supplied base learner).
+type AdaBoostM1 struct {
+	Rounds int
+	Seed   int64
+	Base   func() Classifier
+
+	members []Classifier
+	alphas  []float64
+	numCls  int
+}
+
+func init() { Register("AdaBoostM1", func() Classifier { return &AdaBoostM1{Rounds: 10, Seed: 1} }) }
+
+// Name implements Classifier.
+func (a *AdaBoostM1) Name() string { return "AdaBoostM1" }
+
+// Options implements Parameterized.
+func (a *AdaBoostM1) Options() []Option {
+	return []Option{
+		{Name: "rounds", Description: "number of boosting rounds", Default: "10"},
+		{Name: "seed", Description: "resampling seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (a *AdaBoostM1) SetOption(name, value string) error {
+	switch name {
+	case "rounds":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: AdaBoostM1 rounds must be a positive integer, got %q", value)
+		}
+		a.Rounds = n
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("classify: AdaBoostM1 seed must be an integer, got %q", value)
+		}
+		a.Seed = n
+	default:
+		return fmt.Errorf("classify: AdaBoostM1 has no option %q", name)
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (a *AdaBoostM1) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	d = d.DeleteWithMissingClass()
+	base := a.Base
+	if base == nil {
+		base = func() Classifier { return &DecisionStump{} }
+	}
+	a.numCls = d.NumClasses()
+	// Boost on a weighted copy.
+	work := d.CloneSchema()
+	for _, in := range d.Instances {
+		work.Instances = append(work.Instances, in.Clone())
+	}
+	// Weights sum to n (not 1): J48-family base learners compare branch
+	// mass against MinLeaf in absolute terms.
+	n := float64(work.NumInstances())
+	for _, in := range work.Instances {
+		in.Weight = 1
+	}
+	a.members = a.members[:0]
+	a.alphas = a.alphas[:0]
+	for round := 0; round < a.Rounds; round++ {
+		m := base()
+		if err := m.Train(work); err != nil {
+			return fmt.Errorf("classify: AdaBoostM1 round %d: %w", round, err)
+		}
+		var errW float64
+		preds := make([]int, work.NumInstances())
+		for i, in := range work.Instances {
+			p, err := Predict(m, in)
+			if err != nil {
+				return err
+			}
+			preds[i] = p
+			if p != int(in.Values[work.ClassIndex]) {
+				errW += in.Weight
+			}
+		}
+		errW /= n
+		if errW >= 0.5 {
+			break // weak learner no better than chance: stop boosting
+		}
+		if errW < 1e-10 {
+			a.members = append(a.members, m)
+			a.alphas = append(a.alphas, 10) // effectively perfect learner
+			break
+		}
+		beta := errW / (1 - errW)
+		a.members = append(a.members, m)
+		a.alphas = append(a.alphas, math.Log(1/beta))
+		var total float64
+		for i, in := range work.Instances {
+			if preds[i] == int(in.Values[work.ClassIndex]) {
+				in.Weight *= beta
+			}
+			total += in.Weight
+		}
+		scale := n / total
+		for _, in := range work.Instances {
+			in.Weight *= scale
+		}
+	}
+	if len(a.members) == 0 {
+		// Fall back to a single base model trained on uniform weights.
+		m := base()
+		if err := m.Train(d); err != nil {
+			return err
+		}
+		a.members = append(a.members, m)
+		a.alphas = append(a.alphas, 1)
+	}
+	return nil
+}
+
+// Distribution implements Classifier.
+func (a *AdaBoostM1) Distribution(in *dataset.Instance) ([]float64, error) {
+	if len(a.members) == 0 {
+		return nil, fmt.Errorf("classify: AdaBoostM1 is untrained")
+	}
+	votes := make([]float64, a.numCls)
+	for i, m := range a.members {
+		p, err := Predict(m, in)
+		if err != nil {
+			return nil, err
+		}
+		votes[p] += a.alphas[i]
+	}
+	return normalize(votes), nil
+}

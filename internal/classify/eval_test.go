@@ -1,0 +1,161 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func TestEvaluationCounters(t *testing.T) {
+	d := datagen.Weather()
+	e, err := NewEvaluation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Record(0, 0, 1)
+	e.Record(0, 1, 1)
+	e.Record(1, 1, 1)
+	e.Record(1, 1, 1)
+	if e.Total != 4 || e.Correct != 3 {
+		t.Fatalf("total=%v correct=%v", e.Total, e.Correct)
+	}
+	if math.Abs(e.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v", e.Accuracy())
+	}
+	if math.Abs(e.ErrorRate()-0.25) > 1e-12 {
+		t.Fatalf("error rate = %v", e.ErrorRate())
+	}
+	// precision(yes=0): predicted 0 once, correct once -> 1.0
+	if e.Precision(0) != 1 {
+		t.Fatalf("precision(0) = %v", e.Precision(0))
+	}
+	// recall(0): actual 0 twice, hit once -> 0.5
+	if e.Recall(0) != 0.5 {
+		t.Fatalf("recall(0) = %v", e.Recall(0))
+	}
+	if f1 := e.F1(0); math.Abs(f1-2.0/3) > 1e-12 {
+		t.Fatalf("f1(0) = %v", f1)
+	}
+}
+
+func TestKappaBounds(t *testing.T) {
+	d := datagen.Weather()
+	perfect, _ := NewEvaluation(d)
+	for i := 0; i < 10; i++ {
+		perfect.Record(i%2, i%2, 1)
+	}
+	if k := perfect.Kappa(); math.Abs(k-1) > 1e-12 {
+		t.Fatalf("perfect kappa = %v", k)
+	}
+	random, _ := NewEvaluation(d)
+	// Predictions independent of actual: kappa ~ 0.
+	for i := 0; i < 100; i++ {
+		random.Record(i%2, (i/2)%2, 1)
+	}
+	if k := random.Kappa(); math.Abs(k) > 0.1 {
+		t.Fatalf("random kappa = %v", k)
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	d := datagen.Weather()
+	e, _ := NewEvaluation(d)
+	e.Record(0, 0, 1)
+	s := e.String()
+	for _, want := range []string{"Correctly Classified", "Kappa", "Confusion Matrix", "precision"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCrossValidatePoolsAllInstances(t *testing.T) {
+	d := datagen.BreastCancer()
+	ev, err := CrossValidate(func() Classifier { return NewJ48() }, d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ev.Total) != 286 {
+		t.Fatalf("CV evaluated %v instances, want 286", ev.Total)
+	}
+	// The paper-era J48 result on breast-cancer is ~70-80%; our replica is
+	// cleaner, so accept a generous band that still excludes degenerate
+	// output.
+	if ev.Accuracy() < 0.7 || ev.Accuracy() > 0.95 {
+		t.Fatalf("J48 10-fold CV accuracy = %v", ev.Accuracy())
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := datagen.Weather()
+	a, err := CrossValidate(func() Classifier { return &NaiveBayes{} }, d, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(func() Classifier { return &NaiveBayes{} }, d, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy() != b.Accuracy() {
+		t.Fatalf("same-seed CV differs: %v vs %v", a.Accuracy(), b.Accuracy())
+	}
+}
+
+func TestLabelUnlabelledData(t *testing.T) {
+	d := datagen.BreastCancer()
+	rng := rand.New(rand.NewSource(3))
+	train, test, err := dataset.StratifiedSplit(d, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJ48()
+	if err := j.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	// Blank the class column (unlabelled data arriving for labelling).
+	unlabelled := test.Clone()
+	for _, in := range unlabelled.Instances {
+		in.Values[unlabelled.ClassIndex] = dataset.Missing
+	}
+	labels, err := Label(j, unlabelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != unlabelled.NumInstances() {
+		t.Fatalf("labelled %d of %d", len(labels), unlabelled.NumInstances())
+	}
+	valid := map[string]bool{"no-recurrence-events": true, "recurrence-events": true}
+	agree := 0
+	for i, l := range labels {
+		if !valid[l] {
+			t.Fatalf("label %q not a class name", l)
+		}
+		if l == test.Attrs[test.ClassIndex].Value(int(test.Instances[i].Values[test.ClassIndex])) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(labels)); frac < 0.7 {
+		t.Fatalf("labelling agreement %v", frac)
+	}
+}
+
+func TestTestModelSkipsMissingClass(t *testing.T) {
+	d := datagen.Weather()
+	j := NewJ48()
+	if err := j.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	test := d.Clone()
+	test.Instances[0].Values[test.ClassIndex] = dataset.Missing
+	e, _ := NewEvaluation(test)
+	if err := e.TestModel(j, test); err != nil {
+		t.Fatal(err)
+	}
+	if int(e.Total) != 13 {
+		t.Fatalf("evaluated %v instances, want 13", e.Total)
+	}
+}

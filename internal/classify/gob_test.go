@@ -1,0 +1,146 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// roundTrip serialises and deserialises a classifier through gob, the
+// "serialised state on disk" representation of §4.5.
+func roundTrip(t *testing.T, c Classifier, fresh Classifier) Classifier {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		t.Fatalf("encode %s: %v", c.Name(), err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(fresh); err != nil {
+		t.Fatalf("decode %s: %v", c.Name(), err)
+	}
+	return fresh
+}
+
+func TestJ48GobRoundTrip(t *testing.T) {
+	d := datagen.BreastCancer()
+	j := NewJ48()
+	if err := j.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	j2 := roundTrip(t, j, &J48{}).(*J48)
+	if j2.Tree() == nil || j2.Tree().AttrName != j.Tree().AttrName {
+		t.Fatal("tree lost in round trip")
+	}
+	for _, in := range d.Instances[:50] {
+		a, err := Predict(j, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Predict(j2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("predictions diverge after round trip")
+		}
+	}
+	if j2.String() != j.String() {
+		t.Fatal("textual tree differs after round trip")
+	}
+}
+
+func TestNaiveBayesGobRoundTrip(t *testing.T) {
+	d := datagen.WeatherNumeric()
+	nb := &NaiveBayes{}
+	if err := nb.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	nb2 := roundTrip(t, nb, &NaiveBayes{}).(*NaiveBayes)
+	for _, in := range d.Instances {
+		a, _ := nb.Distribution(in)
+		b, _ := nb2.Distribution(in)
+		for i := range a {
+			if diff := a[i] - b[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("distribution diverges: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestZeroRGobRoundTrip(t *testing.T) {
+	d := datagen.Weather()
+	z := &ZeroR{}
+	if err := z.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	z2 := roundTrip(t, z, &ZeroR{}).(*ZeroR)
+	a, _ := z.Distribution(d.Instances[0])
+	b, _ := z2.Distribution(d.Instances[0])
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("prior lost: %v vs %v", a, b)
+	}
+}
+
+func TestOneRGobRoundTrip(t *testing.T) {
+	d := datagen.WeatherNumeric()
+	o := &OneR{}
+	if err := o.SetOption("minBucket", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	o2 := roundTrip(t, o, &OneR{}).(*OneR)
+	for _, in := range d.Instances {
+		a, _ := Predict(o, in)
+		b, _ := Predict(o2, in)
+		if a != b {
+			t.Fatal("OneR predictions diverge after round trip")
+		}
+	}
+	if o2.Attribute() != o.Attribute() {
+		t.Fatal("selected attribute lost")
+	}
+}
+
+func TestIBkGobRoundTrip(t *testing.T) {
+	d := datagen.WeatherNumeric()
+	k := &IBk{K: 3, DistanceWeight: true}
+	if err := k.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	k2 := roundTrip(t, k, &IBk{}).(*IBk)
+	if k2.NumCases() != k.NumCases() {
+		t.Fatalf("case base %d -> %d", k.NumCases(), k2.NumCases())
+	}
+	for _, in := range d.Instances {
+		a, _ := Predict(k, in)
+		b, _ := Predict(k2, in)
+		if a != b {
+			t.Fatal("IBk predictions diverge after round trip")
+		}
+	}
+}
+
+func TestPrismGobRoundTrip(t *testing.T) {
+	d := datagen.ContactLenses()
+	p := &Prism{}
+	if err := p.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	p2 := roundTrip(t, p, &Prism{}).(*Prism)
+	if p2.NumRules() != p.NumRules() {
+		t.Fatalf("rules %d -> %d", p.NumRules(), p2.NumRules())
+	}
+	if p2.String() != p.String() {
+		t.Fatal("rule list differs after round trip")
+	}
+	for _, in := range d.Instances {
+		a, _ := Predict(p, in)
+		b, _ := Predict(p2, in)
+		if a != b {
+			t.Fatal("Prism predictions diverge after round trip")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// IBk is a k-nearest-neighbour classifier with heterogeneous distance
+// (normalised absolute difference on numerics, 0/1 overlap on nominals) and
+// optional inverse-distance vote weighting. It is updateable: new instances
+// simply join the case base.
+type IBk struct {
+	K              int
+	DistanceWeight bool
+
+	schema *dataset.Dataset
+	cases  []*dataset.Instance
+	min    []float64
+	max    []float64
+}
+
+func init() { Register("IBk", func() Classifier { return &IBk{K: 1} }) }
+
+// Name implements Classifier.
+func (k *IBk) Name() string { return "IBk" }
+
+// Options implements Parameterized.
+func (k *IBk) Options() []Option {
+	return []Option{
+		{Name: "k", Description: "number of neighbours", Default: "1"},
+		{Name: "distanceWeighting", Description: "weight votes by inverse distance (true/false)", Default: "false"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (k *IBk) SetOption(name, value string) error {
+	switch name {
+	case "k":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: IBk k must be a positive integer, got %q", value)
+		}
+		k.K = n
+	case "distanceWeighting":
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("classify: IBk distanceWeighting must be boolean, got %q", value)
+		}
+		k.DistanceWeight = b
+	default:
+		return fmt.Errorf("classify: IBk has no option %q", name)
+	}
+	return nil
+}
+
+// Begin implements Updateable.
+func (k *IBk) Begin(schema *dataset.Dataset) error {
+	ca := schema.ClassAttribute()
+	if ca == nil || !ca.IsNominal() || ca.NumValues() < 2 {
+		return fmt.Errorf("classify: IBk needs a nominal class with >=2 labels")
+	}
+	k.schema = schema
+	k.cases = nil
+	n := schema.NumAttributes()
+	k.min = make([]float64, n)
+	k.max = make([]float64, n)
+	for i := range k.min {
+		k.min[i] = math.Inf(1)
+		k.max[i] = math.Inf(-1)
+	}
+	return nil
+}
+
+// Update implements Updateable.
+func (k *IBk) Update(in *dataset.Instance) error {
+	if k.schema == nil {
+		return fmt.Errorf("classify: IBk.Update before Begin/Train")
+	}
+	if dataset.IsMissing(in.Values[k.schema.ClassIndex]) {
+		return nil
+	}
+	k.cases = append(k.cases, in)
+	for col, a := range k.schema.Attrs {
+		if !a.IsNumeric() {
+			continue
+		}
+		v := in.Values[col]
+		if dataset.IsMissing(v) {
+			continue
+		}
+		if v < k.min[col] {
+			k.min[col] = v
+		}
+		if v > k.max[col] {
+			k.max[col] = v
+		}
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (k *IBk) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	if err := k.Begin(d); err != nil {
+		return err
+	}
+	for _, in := range d.Instances {
+		if err := k.Update(in); err != nil {
+			return err
+		}
+	}
+	if len(k.cases) == 0 {
+		return fmt.Errorf("classify: IBk: no instances with a known class")
+	}
+	return nil
+}
+
+// distance computes the heterogeneous distance between a query and a case.
+func (k *IBk) distance(q, c *dataset.Instance) float64 {
+	var d float64
+	for col, a := range k.schema.Attrs {
+		if col == k.schema.ClassIndex {
+			continue
+		}
+		qv, cv := q.Values[col], c.Values[col]
+		qm, cm := dataset.IsMissing(qv), dataset.IsMissing(cv)
+		switch {
+		case qm || cm:
+			d++ // maximal difference when either side is unknown
+		case a.IsNumeric():
+			span := k.max[col] - k.min[col]
+			if span <= 0 {
+				continue
+			}
+			diff := (qv - cv) / span
+			d += diff * diff
+		default:
+			if qv != cv {
+				d++
+			}
+		}
+	}
+	return math.Sqrt(d)
+}
+
+// Distribution implements Classifier.
+func (k *IBk) Distribution(in *dataset.Instance) ([]float64, error) {
+	if len(k.cases) == 0 {
+		return nil, fmt.Errorf("classify: IBk is untrained")
+	}
+	type nb struct {
+		dist float64
+		cls  int
+	}
+	nbs := make([]nb, len(k.cases))
+	for i, c := range k.cases {
+		nbs[i] = nb{k.distance(in, c), int(c.Values[k.schema.ClassIndex])}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].dist < nbs[j].dist })
+	kk := k.K
+	if kk > len(nbs) {
+		kk = len(nbs)
+	}
+	out := make([]float64, k.schema.NumClasses())
+	for i := 0; i < kk; i++ {
+		w := 1.0
+		if k.DistanceWeight {
+			w = 1 / (nbs[i].dist + 1e-9)
+		}
+		out[nbs[i].cls] += w
+	}
+	return normalize(out), nil
+}
+
+// NumCases returns the current size of the case base.
+func (k *IBk) NumCases() int { return len(k.cases) }

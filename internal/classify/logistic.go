@@ -1,0 +1,245 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// encoder maps a mixed instance onto a dense numeric feature vector:
+// numerics are standardised, nominals are one-hot encoded, missing cells
+// become zeros (the standardised mean / all-cold encoding).
+type encoder struct {
+	schema *dataset.Dataset
+	offset []int // feature offset per column (-1 for class/string columns)
+	width  int
+	mean   []float64
+	std    []float64
+}
+
+func newEncoder(d *dataset.Dataset) *encoder {
+	e := &encoder{schema: d, offset: make([]int, d.NumAttributes())}
+	for col, a := range d.Attrs {
+		e.offset[col] = -1
+		if col == d.ClassIndex || a.IsString() {
+			continue
+		}
+		e.offset[col] = e.width
+		if a.IsNumeric() {
+			e.width++
+		} else {
+			e.width += a.NumValues()
+		}
+	}
+	e.mean = make([]float64, d.NumAttributes())
+	e.std = make([]float64, d.NumAttributes())
+	for col, a := range d.Attrs {
+		if e.offset[col] < 0 || !a.IsNumeric() {
+			continue
+		}
+		var s, ss, n float64
+		for _, in := range d.Instances {
+			v := in.Values[col]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			s += v
+			ss += v * v
+			n++
+		}
+		if n > 0 {
+			e.mean[col] = s / n
+			variance := ss/n - e.mean[col]*e.mean[col]
+			if variance > 1e-12 {
+				e.std[col] = math.Sqrt(variance)
+			}
+		}
+	}
+	return e
+}
+
+func (e *encoder) encode(in *dataset.Instance, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for col, a := range e.schema.Attrs {
+		off := e.offset[col]
+		if off < 0 || col >= len(in.Values) {
+			continue
+		}
+		v := in.Values[col]
+		if dataset.IsMissing(v) {
+			continue
+		}
+		if a.IsNumeric() {
+			if e.std[col] > 0 {
+				out[off] = (v - e.mean[col]) / e.std[col]
+			} else {
+				out[off] = v - e.mean[col]
+			}
+		} else {
+			idx := int(v)
+			if idx >= 0 && idx < a.NumValues() {
+				out[off+idx] = 1
+			}
+		}
+	}
+}
+
+// Logistic is a multinomial logistic-regression classifier trained with
+// mini-batch-free SGD and L2 regularisation over one-hot encoded features.
+type Logistic struct {
+	Epochs       int
+	LearningRate float64
+	Lambda       float64
+	Seed         int64
+
+	enc        *encoder
+	weights    [][]float64 // [class][feature]
+	bias       []float64
+	numClasses int
+}
+
+func init() {
+	Register("Logistic", func() Classifier {
+		return &Logistic{Epochs: 100, LearningRate: 0.1, Lambda: 1e-4, Seed: 1}
+	})
+}
+
+// Name implements Classifier.
+func (l *Logistic) Name() string { return "Logistic" }
+
+// Options implements Parameterized.
+func (l *Logistic) Options() []Option {
+	return []Option{
+		{Name: "epochs", Description: "SGD passes over the data", Default: "100"},
+		{Name: "learningRate", Description: "SGD step size", Default: "0.1"},
+		{Name: "lambda", Description: "L2 regularisation strength", Default: "0.0001"},
+		{Name: "seed", Description: "shuffle seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (l *Logistic) SetOption(name, value string) error {
+	switch name {
+	case "epochs":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: Logistic epochs must be a positive integer, got %q", value)
+		}
+		l.Epochs = n
+	case "learningRate":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("classify: Logistic learningRate must be positive, got %q", value)
+		}
+		l.LearningRate = f
+	case "lambda":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("classify: Logistic lambda must be >= 0, got %q", value)
+		}
+		l.Lambda = f
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("classify: Logistic seed must be an integer, got %q", value)
+		}
+		l.Seed = n
+	default:
+		return fmt.Errorf("classify: Logistic has no option %q", name)
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (l *Logistic) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	d = d.DeleteWithMissingClass()
+	l.enc = newEncoder(d)
+	l.numClasses = d.NumClasses()
+	l.weights = make([][]float64, l.numClasses)
+	for c := range l.weights {
+		l.weights[c] = make([]float64, l.enc.width)
+	}
+	l.bias = make([]float64, l.numClasses)
+
+	rng := rand.New(rand.NewSource(l.Seed))
+	x := make([]float64, l.enc.width)
+	logits := make([]float64, l.numClasses)
+	order := rng.Perm(d.NumInstances())
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		lr := l.LearningRate / (1 + 0.01*float64(epoch))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			in := d.Instances[idx]
+			l.enc.encode(in, x)
+			l.forward(x, logits)
+			softmaxInPlace(logits)
+			y := int(in.Values[d.ClassIndex])
+			for c := 0; c < l.numClasses; c++ {
+				g := logits[c]
+				if c == y {
+					g -= 1
+				}
+				g *= in.Weight
+				w := l.weights[c]
+				for f, xv := range x {
+					if xv != 0 {
+						w[f] -= lr * (g*xv + l.Lambda*w[f])
+					}
+				}
+				l.bias[c] -= lr * g
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) forward(x, logits []float64) {
+	for c := 0; c < l.numClasses; c++ {
+		s := l.bias[c]
+		w := l.weights[c]
+		for f, xv := range x {
+			if xv != 0 {
+				s += w[f] * xv
+			}
+		}
+		logits[c] = s
+	}
+}
+
+func softmaxInPlace(z []float64) {
+	max := math.Inf(-1)
+	for _, v := range z {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		z[i] = math.Exp(v - max)
+		sum += z[i]
+	}
+	for i := range z {
+		z[i] /= sum
+	}
+}
+
+// Distribution implements Classifier.
+func (l *Logistic) Distribution(in *dataset.Instance) ([]float64, error) {
+	if l.enc == nil {
+		return nil, fmt.Errorf("classify: Logistic is untrained")
+	}
+	x := make([]float64, l.enc.width)
+	l.enc.encode(in, x)
+	out := make([]float64, l.numClasses)
+	l.forward(x, out)
+	softmaxInPlace(out)
+	return out, nil
+}

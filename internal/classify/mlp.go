@@ -1,0 +1,219 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// MLP is a single-hidden-layer multilayer perceptron trained with
+// backpropagation. Its run-time options are exactly the ones the paper's
+// §4.4 walkthrough names for the neural-network backpropagation algorithm:
+// "the number of neurons in the hidden layer, the momentum and the learning
+// rate".
+type MLP struct {
+	Hidden       int
+	LearningRate float64
+	Momentum     float64
+	Epochs       int
+	Seed         int64
+
+	enc        *encoder
+	numClasses int
+	// w1[h][f], b1[h]: input -> hidden; w2[c][h], b2[c]: hidden -> output.
+	w1, w2     [][]float64
+	b1, b2     []float64
+	dw1p, dw2p [][]float64 // previous updates for momentum
+	db1p, db2p []float64
+}
+
+func init() {
+	Register("MultilayerPerceptron", func() Classifier {
+		return &MLP{Hidden: 8, LearningRate: 0.3, Momentum: 0.2, Epochs: 200, Seed: 1}
+	})
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MultilayerPerceptron" }
+
+// Options implements Parameterized.
+func (m *MLP) Options() []Option {
+	return []Option{
+		{Name: "hiddenNeurons", Description: "number of neurons in the hidden layer", Default: "8", Required: false},
+		{Name: "learningRate", Description: "backpropagation learning rate", Default: "0.3"},
+		{Name: "momentum", Description: "backpropagation momentum", Default: "0.2"},
+		{Name: "epochs", Description: "training passes", Default: "200"},
+		{Name: "seed", Description: "weight initialisation seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (m *MLP) SetOption(name, value string) error {
+	switch name {
+	case "hiddenNeurons":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: MLP hiddenNeurons must be a positive integer, got %q", value)
+		}
+		m.Hidden = n
+	case "learningRate":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("classify: MLP learningRate must be positive, got %q", value)
+		}
+		m.LearningRate = f
+	case "momentum":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f < 0 || f >= 1 {
+			return fmt.Errorf("classify: MLP momentum must be in [0,1), got %q", value)
+		}
+		m.Momentum = f
+	case "epochs":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("classify: MLP epochs must be a positive integer, got %q", value)
+		}
+		m.Epochs = n
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("classify: MLP seed must be an integer, got %q", value)
+		}
+		m.Seed = n
+	default:
+		return fmt.Errorf("classify: MLP has no option %q", name)
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (m *MLP) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	d = d.DeleteWithMissingClass()
+	m.enc = newEncoder(d)
+	m.numClasses = d.NumClasses()
+	rng := rand.New(rand.NewSource(m.Seed))
+	init2 := func(rows, cols int) [][]float64 {
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = (rng.Float64() - 0.5) / 2
+			}
+		}
+		return w
+	}
+	zeros2 := func(rows, cols int) [][]float64 {
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+		}
+		return w
+	}
+	m.w1, m.w2 = init2(m.Hidden, m.enc.width), init2(m.numClasses, m.Hidden)
+	m.b1, m.b2 = make([]float64, m.Hidden), make([]float64, m.numClasses)
+	m.dw1p, m.dw2p = zeros2(m.Hidden, m.enc.width), zeros2(m.numClasses, m.Hidden)
+	m.db1p, m.db2p = make([]float64, m.Hidden), make([]float64, m.numClasses)
+
+	x := make([]float64, m.enc.width)
+	h := make([]float64, m.Hidden)
+	o := make([]float64, m.numClasses)
+	deltaO := make([]float64, m.numClasses)
+	deltaH := make([]float64, m.Hidden)
+	order := rng.Perm(d.NumInstances())
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			in := d.Instances[idx]
+			m.enc.encode(in, x)
+			m.forward(x, h, o)
+			y := int(in.Values[d.ClassIndex])
+			for c := range o {
+				target := 0.0
+				if c == y {
+					target = 1
+				}
+				deltaO[c] = (o[c] - target) * in.Weight
+			}
+			for j := range h {
+				var s float64
+				for c := range deltaO {
+					s += deltaO[c] * m.w2[c][j]
+				}
+				deltaH[j] = s * h[j] * (1 - h[j])
+			}
+			lr, mom := m.LearningRate, m.Momentum
+			for c := range deltaO {
+				for j := range h {
+					upd := -lr*deltaO[c]*h[j] + mom*m.dw2p[c][j]
+					m.w2[c][j] += upd
+					m.dw2p[c][j] = upd
+				}
+				upd := -lr*deltaO[c] + mom*m.db2p[c]
+				m.b2[c] += upd
+				m.db2p[c] = upd
+			}
+			for j := range deltaH {
+				if deltaH[j] == 0 {
+					continue
+				}
+				w := m.w1[j]
+				prev := m.dw1p[j]
+				for f, xv := range x {
+					upd := mom * prev[f]
+					if xv != 0 {
+						upd += -lr * deltaH[j] * xv
+					}
+					w[f] += upd
+					prev[f] = upd
+				}
+				upd := -lr*deltaH[j] + mom*m.db1p[j]
+				m.b1[j] += upd
+				m.db1p[j] = upd
+			}
+		}
+	}
+	return nil
+}
+
+func (m *MLP) forward(x, h, o []float64) {
+	for j := range h {
+		s := m.b1[j]
+		w := m.w1[j]
+		for f, xv := range x {
+			if xv != 0 {
+				s += w[f] * xv
+			}
+		}
+		h[j] = sigmoid(s)
+	}
+	for c := range o {
+		s := m.b2[c]
+		w := m.w2[c]
+		for j, hv := range h {
+			s += w[j] * hv
+		}
+		o[c] = s
+	}
+	softmaxInPlace(o)
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Distribution implements Classifier.
+func (m *MLP) Distribution(in *dataset.Instance) ([]float64, error) {
+	if m.enc == nil {
+		return nil, fmt.Errorf("classify: MultilayerPerceptron is untrained")
+	}
+	x := make([]float64, m.enc.width)
+	m.enc.encode(in, x)
+	h := make([]float64, m.Hidden)
+	o := make([]float64, m.numClasses)
+	m.forward(x, h, o)
+	return o, nil
+}

@@ -1,0 +1,168 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// NaiveBayes is a mixed nominal/numeric naive Bayes classifier with Laplace
+// smoothing on nominal likelihoods and Gaussian likelihoods on numeric
+// attributes. It is updateable, so it can consume remote data streams.
+type NaiveBayes struct {
+	classIndex int
+	numClasses int
+	attrs      []*dataset.Attribute
+
+	classCount []float64
+	// nominal[col][class][value] = weight
+	nominal [][][]float64
+	// numeric moments per col per class
+	sum, sumSq, cnt [][]float64
+}
+
+func init() { Register("NaiveBayes", func() Classifier { return &NaiveBayes{} }) }
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "NaiveBayes" }
+
+// Begin implements Updateable.
+func (nb *NaiveBayes) Begin(schema *dataset.Dataset) error {
+	ca := schema.ClassAttribute()
+	if ca == nil || !ca.IsNominal() || ca.NumValues() < 2 {
+		return fmt.Errorf("classify: NaiveBayes needs a nominal class with >=2 labels")
+	}
+	nb.classIndex = schema.ClassIndex
+	nb.numClasses = ca.NumValues()
+	nb.attrs = schema.Attrs
+	nb.classCount = make([]float64, nb.numClasses)
+	n := schema.NumAttributes()
+	nb.nominal = make([][][]float64, n)
+	nb.sum = make([][]float64, n)
+	nb.sumSq = make([][]float64, n)
+	nb.cnt = make([][]float64, n)
+	for col, a := range schema.Attrs {
+		if col == schema.ClassIndex {
+			continue
+		}
+		switch {
+		case a.IsNominal():
+			nb.nominal[col] = make([][]float64, nb.numClasses)
+			for c := range nb.nominal[col] {
+				nb.nominal[col][c] = make([]float64, a.NumValues())
+			}
+		case a.IsNumeric():
+			nb.sum[col] = make([]float64, nb.numClasses)
+			nb.sumSq[col] = make([]float64, nb.numClasses)
+			nb.cnt[col] = make([]float64, nb.numClasses)
+		}
+	}
+	return nil
+}
+
+// Update implements Updateable.
+func (nb *NaiveBayes) Update(in *dataset.Instance) error {
+	if nb.classCount == nil {
+		return fmt.Errorf("classify: NaiveBayes.Update before Begin/Train")
+	}
+	cv := in.Values[nb.classIndex]
+	if dataset.IsMissing(cv) {
+		return nil
+	}
+	c := int(cv)
+	nb.classCount[c] += in.Weight
+	for col, a := range nb.attrs {
+		if col == nb.classIndex {
+			continue
+		}
+		v := in.Values[col]
+		if dataset.IsMissing(v) {
+			continue
+		}
+		switch {
+		case a.IsNominal():
+			nb.nominal[col][c][int(v)] += in.Weight
+		case a.IsNumeric():
+			nb.sum[col][c] += v * in.Weight
+			nb.sumSq[col][c] += v * v * in.Weight
+			nb.cnt[col][c] += in.Weight
+		}
+	}
+	return nil
+}
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(d *dataset.Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	if err := nb.Begin(d); err != nil {
+		return err
+	}
+	for _, in := range d.Instances {
+		if err := nb.Update(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Distribution implements Classifier.
+func (nb *NaiveBayes) Distribution(in *dataset.Instance) ([]float64, error) {
+	if nb.classCount == nil {
+		return nil, fmt.Errorf("classify: NaiveBayes is untrained")
+	}
+	var totalW float64
+	for _, w := range nb.classCount {
+		totalW += w
+	}
+	logp := make([]float64, nb.numClasses)
+	for c := 0; c < nb.numClasses; c++ {
+		// Laplace-smoothed log prior.
+		logp[c] = math.Log((nb.classCount[c] + 1) / (totalW + float64(nb.numClasses)))
+		for col, a := range nb.attrs {
+			if col == nb.classIndex || col >= len(in.Values) {
+				continue
+			}
+			v := in.Values[col]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			switch {
+			case a.IsNominal():
+				row := nb.nominal[col][c]
+				var rowW float64
+				for _, w := range row {
+					rowW += w
+				}
+				k := float64(len(row))
+				logp[c] += math.Log((row[int(v)] + 1) / (rowW + k))
+			case a.IsNumeric():
+				n := nb.cnt[col][c]
+				if n < 2 {
+					continue
+				}
+				mean := nb.sum[col][c] / n
+				variance := nb.sumSq[col][c]/n - mean*mean
+				if variance < 1e-6 {
+					variance = 1e-6
+				}
+				diff := v - mean
+				logp[c] += -0.5*math.Log(2*math.Pi*variance) - diff*diff/(2*variance)
+			}
+		}
+	}
+	// Soft-max in log space for numeric stability.
+	maxLog := math.Inf(-1)
+	for _, lp := range logp {
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	out := make([]float64, nb.numClasses)
+	for c, lp := range logp {
+		out[c] = math.Exp(lp - maxLog)
+	}
+	return normalize(out), nil
+}

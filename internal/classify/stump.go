@@ -1,0 +1,56 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// DecisionStump is a one-level decision tree (single J48 split), the classic
+// weak learner for boosting.
+type DecisionStump struct {
+	inner *J48
+}
+
+func init() { Register("DecisionStump", func() Classifier { return &DecisionStump{} }) }
+
+// Name implements Classifier.
+func (s *DecisionStump) Name() string { return "DecisionStump" }
+
+// Train implements Classifier.
+func (s *DecisionStump) Train(d *dataset.Dataset) error {
+	j := NewJ48()
+	j.Unpruned = true
+	j.MinLeaf = 1
+	if err := j.Train(d); err != nil {
+		return err
+	}
+	// Truncate to depth one: every child of the root becomes a leaf.
+	if r := j.Tree(); r != nil && r.Attr >= 0 {
+		for _, c := range r.Children {
+			c.Attr = -1
+			c.AttrName = ""
+			c.Children = nil
+			c.Labels = nil
+		}
+	}
+	s.inner = j
+	return nil
+}
+
+// Distribution implements Classifier.
+func (s *DecisionStump) Distribution(in *dataset.Instance) ([]float64, error) {
+	if s.inner == nil {
+		return nil, fmt.Errorf("classify: DecisionStump is untrained")
+	}
+	return s.inner.Distribution(in)
+}
+
+// Attribute returns the splitting column of the stump, or -1 when the stump
+// degenerated to a single leaf.
+func (s *DecisionStump) Attribute() int {
+	if s.inner == nil || s.inner.Tree() == nil {
+		return -1
+	}
+	return s.inner.Tree().Attr
+}

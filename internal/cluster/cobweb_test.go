@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func TestCobwebBuildsHierarchy(t *testing.T) {
+	d := datagen.Weather()
+	cw := &Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+	if err := cw.Build(d); err != nil {
+		t.Fatal(err)
+	}
+	root := cw.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	if root.Count != 14 {
+		t.Fatalf("root count = %v, want 14", root.Count)
+	}
+	if cw.NumClusters() < 2 {
+		t.Fatalf("only %d leaf concepts", cw.NumClusters())
+	}
+	// Counts are conserved down every level.
+	var check func(n *ConceptNode)
+	check = func(n *ConceptNode) {
+		if len(n.Children) == 0 {
+			return
+		}
+		var sum float64
+		for _, c := range n.Children {
+			sum += c.Count
+			check(c)
+		}
+		if sum < n.Count-1e-6 || sum > n.Count+1e-6 {
+			t.Fatalf("node %d: children sum %v != count %v", n.ID, sum, n.Count)
+		}
+	}
+	check(root)
+}
+
+func TestCobwebSeparatesGaussians(t *testing.T) {
+	d := datagen.GaussianClusters(2, 100, 2, 12, 21)
+	cw := &Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+	if err := cw.Build(d); err != nil {
+		t.Fatal(err)
+	}
+	// Assign every instance to a leaf; instances of different planted
+	// clusters should rarely share a top-level branch. Measure purity via
+	// the top-level split.
+	if len(cw.Root().Children) < 2 {
+		t.Fatalf("root has %d children", len(cw.Root().Children))
+	}
+	// Leaf assignment must be deterministic.
+	a1, err := cw.Assign(d.Instances[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := cw.Assign(d.Instances[0])
+	if a1 != a2 {
+		t.Fatal("Assign not deterministic")
+	}
+}
+
+func TestCobwebIncremental(t *testing.T) {
+	d := datagen.Weather()
+	cw := &Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+	if err := cw.Begin(d.CloneSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Instances {
+		if err := cw.Update(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cw.Root().Count != 14 {
+		t.Fatalf("incremental root count = %v", cw.Root().Count)
+	}
+}
+
+func TestCobwebGraphString(t *testing.T) {
+	d := datagen.Weather()
+	cw := &Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+	if err := cw.Build(d); err != nil {
+		t.Fatal(err)
+	}
+	g := cw.GraphString()
+	if !strings.Contains(g, "node 0") {
+		t.Fatalf("graph lacks root:\n%s", g)
+	}
+	if !strings.Contains(g, "leaf") {
+		t.Fatalf("graph lacks leaves:\n%s", g)
+	}
+}
+
+func TestCobwebOptions(t *testing.T) {
+	cw := &Cobweb{}
+	if err := cw.SetOption("acuity", "0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.SetOption("cutoff", "0.01"); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Acuity != 0.5 || cw.Cutoff != 0.01 {
+		t.Fatal("options not applied")
+	}
+	for _, bad := range [][2]string{{"acuity", "0"}, {"cutoff", "-1"}, {"zap", "1"}} {
+		if err := cw.SetOption(bad[0], bad[1]); err == nil {
+			t.Errorf("SetOption(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCobwebRejectsUnusableSchema(t *testing.T) {
+	d := dataset.New("empty", dataset.NewStringAttribute("note"))
+	cw := &Cobweb{Acuity: 1, Cutoff: 0.002}
+	if err := cw.Build(d); err == nil {
+		t.Fatal("string-only schema accepted")
+	}
+}
+
+func TestCobwebUpdateBeforeBegin(t *testing.T) {
+	cw := &Cobweb{Acuity: 1, Cutoff: 0.002}
+	if err := cw.Update(dataset.NewInstance([]float64{0})); err == nil {
+		t.Fatal("Update before Begin succeeded")
+	}
+}

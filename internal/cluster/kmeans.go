@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// KMeans is Lloyd's algorithm with k-means++ seeding over the numeric
+// attributes.
+type KMeans struct {
+	K       int
+	MaxIter int
+	Seed    int64
+
+	cols      []int
+	Centroids [][]float64
+	iters     int
+}
+
+func init() {
+	Register("SimpleKMeans", func() Clusterer { return &KMeans{K: 2, MaxIter: 100, Seed: 1} })
+}
+
+// Name implements Clusterer.
+func (km *KMeans) Name() string { return "SimpleKMeans" }
+
+// Options implements Parameterized.
+func (km *KMeans) Options() []Option {
+	return []Option{
+		{Name: "k", Description: "number of clusters", Default: "2", Required: true},
+		{Name: "maxIterations", Description: "iteration cap", Default: "100"},
+		{Name: "seed", Description: "k-means++ seeding RNG seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (km *KMeans) SetOption(name, value string) error {
+	switch name {
+	case "k":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("cluster: SimpleKMeans k must be a positive integer, got %q", value)
+		}
+		km.K = n
+	case "maxIterations":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("cluster: SimpleKMeans maxIterations must be a positive integer, got %q", value)
+		}
+		km.MaxIter = n
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("cluster: SimpleKMeans seed must be an integer, got %q", value)
+		}
+		km.Seed = n
+	default:
+		return fmt.Errorf("cluster: SimpleKMeans has no option %q", name)
+	}
+	return nil
+}
+
+// Build implements Clusterer.
+func (km *KMeans) Build(d *dataset.Dataset) error {
+	cols, err := numericColumns(d)
+	if err != nil {
+		return err
+	}
+	if d.NumInstances() < km.K {
+		return fmt.Errorf("cluster: %d instances < k=%d", d.NumInstances(), km.K)
+	}
+	km.cols = cols
+	rng := rand.New(rand.NewSource(km.Seed))
+	km.Centroids = km.seedPlusPlus(d, rng)
+	assign := make([]int, d.NumInstances())
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < km.MaxIter; iter++ {
+		changed := false
+		for i, in := range d.Instances {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range km.Centroids {
+				if dd := euclidean(in, cent, cols); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		km.iters = iter + 1
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := range km.Centroids {
+			for j := range km.Centroids[c] {
+				km.Centroids[c][j] = 0
+			}
+		}
+		cnt := make([]float64, km.K)
+		for i, in := range d.Instances {
+			c := assign[i]
+			cnt[c]++
+			for j, col := range cols {
+				if !dataset.IsMissing(in.Values[col]) {
+					km.Centroids[c][j] += in.Values[col]
+				}
+			}
+		}
+		for c := range km.Centroids {
+			if cnt[c] == 0 {
+				// Re-seed an empty cluster at a random instance.
+				in := d.Instances[rng.Intn(d.NumInstances())]
+				for j, col := range cols {
+					if !dataset.IsMissing(in.Values[col]) {
+						km.Centroids[c][j] = in.Values[col]
+					}
+				}
+				continue
+			}
+			for j := range km.Centroids[c] {
+				km.Centroids[c][j] /= cnt[c]
+			}
+		}
+	}
+	return nil
+}
+
+// seedPlusPlus performs k-means++ centroid initialisation.
+func (km *KMeans) seedPlusPlus(d *dataset.Dataset, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, km.K)
+	pick := func(i int) []float64 {
+		c := make([]float64, len(km.cols))
+		for j, col := range km.cols {
+			v := d.Instances[i].Values[col]
+			if !dataset.IsMissing(v) {
+				c[j] = v
+			}
+		}
+		return c
+	}
+	cents = append(cents, pick(rng.Intn(d.NumInstances())))
+	dist2 := make([]float64, d.NumInstances())
+	for len(cents) < km.K {
+		var total float64
+		for i, in := range d.Instances {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if dd := euclidean(in, c, km.cols); dd < best {
+					best = dd
+				}
+			}
+			dist2[i] = best * best
+			total += dist2[i]
+		}
+		if total == 0 {
+			cents = append(cents, pick(rng.Intn(d.NumInstances())))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, w := range dist2 {
+			r -= w
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, pick(idx))
+	}
+	return cents
+}
+
+// NumClusters implements Clusterer.
+func (km *KMeans) NumClusters() int { return len(km.Centroids) }
+
+// Iterations returns the number of Lloyd iterations performed.
+func (km *KMeans) Iterations() int { return km.iters }
+
+// Assign implements Clusterer.
+func (km *KMeans) Assign(in *dataset.Instance) (int, error) {
+	if km.Centroids == nil {
+		return -1, fmt.Errorf("cluster: SimpleKMeans is unbuilt")
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range km.Centroids {
+		if dd := euclidean(in, cent, km.cols); dd < bestD {
+			best, bestD = c, dd
+		}
+	}
+	return best, nil
+}
+
+// FarthestFirst implements Hochbaum–Shmoys farthest-first traversal, a fast
+// k-centre approximation (also shipped by WEKA).
+type FarthestFirst struct {
+	K    int
+	Seed int64
+
+	cols      []int
+	Centroids [][]float64
+}
+
+func init() { Register("FarthestFirst", func() Clusterer { return &FarthestFirst{K: 2, Seed: 1} }) }
+
+// Name implements Clusterer.
+func (ff *FarthestFirst) Name() string { return "FarthestFirst" }
+
+// Options implements Parameterized.
+func (ff *FarthestFirst) Options() []Option {
+	return []Option{
+		{Name: "k", Description: "number of clusters", Default: "2", Required: true},
+		{Name: "seed", Description: "first-centre RNG seed", Default: "1"},
+	}
+}
+
+// SetOption implements Parameterized.
+func (ff *FarthestFirst) SetOption(name, value string) error {
+	switch name {
+	case "k":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("cluster: FarthestFirst k must be a positive integer, got %q", value)
+		}
+		ff.K = n
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("cluster: FarthestFirst seed must be an integer, got %q", value)
+		}
+		ff.Seed = n
+	default:
+		return fmt.Errorf("cluster: FarthestFirst has no option %q", name)
+	}
+	return nil
+}
+
+// Build implements Clusterer.
+func (ff *FarthestFirst) Build(d *dataset.Dataset) error {
+	cols, err := numericColumns(d)
+	if err != nil {
+		return err
+	}
+	if d.NumInstances() < ff.K {
+		return fmt.Errorf("cluster: %d instances < k=%d", d.NumInstances(), ff.K)
+	}
+	ff.cols = cols
+	rng := rand.New(rand.NewSource(ff.Seed))
+	point := func(i int) []float64 {
+		c := make([]float64, len(cols))
+		for j, col := range cols {
+			v := d.Instances[i].Values[col]
+			if !dataset.IsMissing(v) {
+				c[j] = v
+			}
+		}
+		return c
+	}
+	ff.Centroids = [][]float64{point(rng.Intn(d.NumInstances()))}
+	for len(ff.Centroids) < ff.K {
+		bestIdx, bestDist := -1, -1.0
+		for i, in := range d.Instances {
+			nearest := math.Inf(1)
+			for _, c := range ff.Centroids {
+				if dd := euclidean(in, c, cols); dd < nearest {
+					nearest = dd
+				}
+			}
+			if nearest > bestDist {
+				bestIdx, bestDist = i, nearest
+			}
+		}
+		ff.Centroids = append(ff.Centroids, point(bestIdx))
+	}
+	return nil
+}
+
+// NumClusters implements Clusterer.
+func (ff *FarthestFirst) NumClusters() int { return len(ff.Centroids) }
+
+// Assign implements Clusterer.
+func (ff *FarthestFirst) Assign(in *dataset.Instance) (int, error) {
+	if ff.Centroids == nil {
+		return -1, fmt.Errorf("cluster: FarthestFirst is unbuilt")
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range ff.Centroids {
+		if dd := euclidean(in, cent, ff.cols); dd < bestD {
+			best, bestD = c, dd
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/datagen"
+	"repro/internal/soap"
+)
+
+// TestConcurrentClients hammers a single deployment from many goroutines —
+// the collaborative, multi-user operation §3 requires ("an increasing
+// number of science and engineering projects are performed in collaborative
+// mode with physically distributed participants"). All services must be
+// safe under concurrent invocation, including the shared harness backend.
+func TestConcurrentClients(t *testing.T) {
+	d := deploy(t)
+	weather := arff.Format(datagen.Weather())
+	bc := arff.Format(datagen.BreastCancer())
+
+	type call struct {
+		service, op string
+		parts       map[string]string
+		wantPart    string
+	}
+	calls := []call{
+		{"Classifier", "getClassifiers", nil, "classifiers"},
+		{"Classifier", "classifyInstance",
+			map[string]string{"dataset": bc, "classifier": "J48", "attribute": "Class"}, "model"},
+		{"Classifier", "classifyInstance",
+			map[string]string{"dataset": weather, "classifier": "NaiveBayes", "attribute": "play"}, "model"},
+		{"Cobweb", "cluster", map[string]string{"dataset": weather}, "summary"},
+		{"DataConvert", "summarize", map[string]string{"dataset": bc}, "summary"},
+		{"AssociationRules", "mine",
+			map[string]string{"dataset": weather, "minSupport": "0.2", "minConfidence": "0.9"}, "rules"},
+		{"Plot", "plot", map[string]string{"points": "0,0\n1,1\n2,4\n"}, "plot"},
+		{"DataAccess", "query", map[string]string{"table": "weather"}, "arff"},
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(calls))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range calls {
+				out, err := soap.Call(d.EndpointURL(c.service), c.op, c.parts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if strings.TrimSpace(out[c.wantPart]) == "" {
+					errs <- &soap.Fault{Code: "test", String: c.service + "." + c.op + " returned empty " + c.wantPart}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/dataaccess"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/registry"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// Deployment is a running instance of the toolkit's service side: every
+// data-mining Web Service hosted on one HTTP server plus a UDDI-style
+// registry with all of them published — the hosting role Tomcat/Axis and
+// jUDDI play in the paper (§4.5, §4.6).
+type Deployment struct {
+	BaseURL  string
+	Registry *registry.Registry
+	Backend  harness.Backend
+
+	svcNames []string
+	server   *http.Server
+	ln       net.Listener
+}
+
+// Deploy starts all toolkit services on addr (use "127.0.0.1:0" for an
+// ephemeral port). backend selects the §4.5 instance-management strategy;
+// nil defaults to the paper's in-memory harness.
+func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
+	if backend == nil {
+		backend = harness.NewCachedBackend(64)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	baseURL := "http://" + ln.Addr().String()
+	reg := registry.New()
+	mux := http.NewServeMux()
+	mux.Handle("/registry/", http.StripPrefix("/registry", reg.Handler()))
+
+	// The relational resource behind the DataAccess service (the OGSA-DAI
+	// integration of §5.4) ships with the toolkit's embedded datasets.
+	db := dataaccess.NewDatabase()
+	for name, table := range map[string]*dataset.Dataset{
+		"breast_cancer":  datagen.BreastCancer(),
+		"weather":        datagen.WeatherNumeric(),
+		"contact_lenses": datagen.ContactLenses(),
+	} {
+		if err := db.CreateTable(name, table); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	svcs := []*services.Service{
+		services.NewClassifierService(backend),
+		services.NewJ48Service(backend),
+		services.NewClustererService(),
+		services.NewCobwebService(),
+		services.NewAssociationService(),
+		services.NewAttributeSelectionService(),
+		services.NewDataConvertService(nil),
+		services.NewFilterService(),
+		services.NewDataAccessService(db),
+		services.NewSessionService(backend),
+		services.NewPlotService(),
+		services.NewMathService(),
+		services.NewTreeAnalyzerService(),
+	}
+	services.Host(mux, baseURL, svcs...)
+	d := &Deployment{BaseURL: baseURL, Registry: reg, Backend: backend, ln: ln}
+	for _, s := range svcs {
+		d.svcNames = append(d.svcNames, s.Name)
+		if err := reg.Publish(registry.Entry{
+			Name:        s.Name,
+			Category:    s.Category,
+			WSDLURL:     d.WSDLURL(s.Name),
+			Endpoint:    d.EndpointURL(s.Name),
+			Description: "FAEHIM data mining service",
+		}); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	d.server = &http.Server{Handler: mux}
+	go func() { _ = d.server.Serve(ln) }()
+	return d, nil
+}
+
+// ServiceNames lists the deployed services.
+func (d *Deployment) ServiceNames() []string {
+	return append([]string(nil), d.svcNames...)
+}
+
+// EndpointURL returns the SOAP endpoint of a deployed service.
+func (d *Deployment) EndpointURL(service string) string {
+	return d.BaseURL + "/services/" + service
+}
+
+// WSDLURL returns the WSDL document URL of a deployed service (the GET side
+// of the endpoint).
+func (d *Deployment) WSDLURL(service string) string {
+	return d.EndpointURL(service)
+}
+
+// RegistryURL returns the base URL of the deployment's registry.
+func (d *Deployment) RegistryURL() string { return d.BaseURL + "/registry" }
+
+// Close shuts the HTTP server down.
+func (d *Deployment) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return d.server.Shutdown(ctx)
+}
+
+// BuildCaseStudyWorkflow composes the §5 case-study workflow of Figure 1
+// against a deployment: getClassifiers → ClassifierSelector → getOptions →
+// OptionSelector, a LocalDataset and an AttributeSelector feeding the
+// four inputs of classifyInstance, whose model flows into the TreeViewer.
+// It returns the graph and the viewer capturing the final tree.
+func BuildCaseStudyWorkflow(tk *Toolkit, d *Deployment, arffText, classifierChoice, attribute string) (*workflow.Graph, *workflow.ViewerUnit, error) {
+	// Import the Classifier service's WSDL unless its tools are already in
+	// the toolbox.
+	if _, err := tk.NewUnit("Classifier.getClassifiers"); err != nil {
+		if _, err := tk.ImportWSDL(d.WSDLURL("Classifier")); err != nil {
+			return nil, nil, err
+		}
+	}
+	g := workflow.NewGraph("case-study")
+
+	getClassifiers, err := tk.NewUnit("Classifier.getClassifiers")
+	if err != nil {
+		return nil, nil, err
+	}
+	getOptions, err := tk.NewUnit("Classifier.getOptions")
+	if err != nil {
+		return nil, nil, err
+	}
+	classifyInstance, err := tk.NewUnit("Classifier.classifyInstance")
+	if err != nil {
+		return nil, nil, err
+	}
+	selector, err := tk.NewUnit("ClassifierSelector")
+	if err != nil {
+		return nil, nil, err
+	}
+	optionSel, err := tk.NewUnit("OptionSelector")
+	if err != nil {
+		return nil, nil, err
+	}
+	localData, err := tk.NewUnit("LocalDataset")
+	if err != nil {
+		return nil, nil, err
+	}
+	attrSel, err := tk.NewUnit("AttributeSelector")
+	if err != nil {
+		return nil, nil, err
+	}
+	viewerUnit, err := tk.NewUnit("TreeViewer")
+	if err != nil {
+		return nil, nil, err
+	}
+	viewer, ok := viewerUnit.(*workflow.ViewerUnit)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: TreeViewer tool is not a viewer")
+	}
+	viewer.Port = "model"
+
+	g.MustAdd("getClassifiers", getClassifiers)
+	sel := g.MustAdd("selectClassifier", selector)
+	sel.Params["choice"] = classifierChoice
+	g.MustAdd("getOptions", getOptions)
+	g.MustAdd("selectOptions", optionSel)
+	data := g.MustAdd("localDataset", localData)
+	data.Params["arff"] = arffText
+	attr := g.MustAdd("selectAttribute", attrSel)
+	attr.Params["choice"] = attribute
+	g.MustAdd("classify", classifyInstance)
+	g.MustAdd("treeViewer", viewer)
+
+	// Stage 1: pick the algorithm from the service's list.
+	g.MustConnect("getClassifiers", "classifiers", "selectClassifier", "classifiers")
+	// Stage 2: fetch and select its options.
+	g.MustConnect("selectClassifier", "classifier", "getOptions", "classifier")
+	g.MustConnect("getOptions", "options", "selectOptions", "options")
+	// Stage 3: wire the four classifyInstance inputs.
+	g.MustConnect("localDataset", "dataset", "classify", "dataset")
+	g.MustConnect("localDataset", "dataset", "selectAttribute", "dataset")
+	// The classifier name needs to reach both getOptions and classify; a
+	// second cable from the selector is not allowed into the same port, so
+	// classify receives it via its own cable.
+	g.MustConnect("selectOptions", "selected", "classify", "options")
+	g.MustConnect("selectAttribute", "attribute", "classify", "attribute")
+	// Stage 4: view the resulting model.
+	g.MustConnect("classify", "model", "treeViewer", "model")
+
+	// classifier name: selector output feeds classify.classifier too.
+	if err := g.Connect("selectClassifier", "classifier", "classify", "classifier"); err != nil {
+		return nil, nil, err
+	}
+	return g, viewer, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/datagen"
+	"repro/internal/workflow"
+)
+
+func runTool(t *testing.T, tk *Toolkit, name string, in workflow.Values) (workflow.Values, error) {
+	t.Helper()
+	u, err := tk.NewUnit(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Run(context.Background(), in)
+}
+
+func TestDataManipulationTools(t *testing.T) {
+	tk := NewToolkit()
+	weather := arff.Format(datagen.WeatherNumeric())
+
+	// ARFFtoCSV then CSVtoARFF round-trips the table.
+	out, err := runTool(t, tk, "ARFFtoCSV", workflow.Values{"dataset": weather})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out["csv"], "outlook,temperature") {
+		t.Fatalf("csv header:\n%s", out["csv"])
+	}
+	back, err := runTool(t, tk, "CSVtoARFF", workflow.Values{"csv": out["csv"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := arff.ParseString(back["dataset"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumInstances() != 14 || d.NumAttributes() != 5 {
+		t.Fatalf("round trip shape %dx%d", d.NumInstances(), d.NumAttributes())
+	}
+
+	// DatasetInfo emits the Figure-3 block.
+	info, err := runTool(t, tk, "DatasetInfo", workflow.Values{
+		"dataset": arff.Format(datagen.BreastCancer())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info["summary"], "Num Instances 286") {
+		t.Fatalf("summary:\n%s", info["summary"])
+	}
+
+	// LocalDataset validates its input.
+	if _, err := runTool(t, tk, "LocalDataset", workflow.Values{"arff": weather}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTool(t, tk, "LocalDataset", workflow.Values{"arff": "junk"}); err == nil {
+		t.Fatal("junk ARFF accepted")
+	}
+	if _, err := runTool(t, tk, "LocalDataset", workflow.Values{}); err == nil {
+		t.Fatal("missing arff param accepted")
+	}
+	// Conversion error paths.
+	if _, err := runTool(t, tk, "CSVtoARFF", workflow.Values{"csv": ""}); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := runTool(t, tk, "ARFFtoCSV", workflow.Values{"dataset": "junk"}); err == nil {
+		t.Fatal("junk ARFF accepted by ARFFtoCSV")
+	}
+	if _, err := runTool(t, tk, "DatasetInfo", workflow.Values{"dataset": "junk"}); err == nil {
+		t.Fatal("junk ARFF accepted by DatasetInfo")
+	}
+}
+
+func TestClassifierSelectorModes(t *testing.T) {
+	tk := NewToolkit()
+	list := "Alpha\nBeta\nGamma"
+	// By name.
+	out, err := runTool(t, tk, "ClassifierSelector", workflow.Values{
+		"classifiers": list, "choice": "Beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["classifier"] != "Beta" {
+		t.Fatalf("choice by name = %q", out["classifier"])
+	}
+	// By index.
+	out, err = runTool(t, tk, "ClassifierSelector", workflow.Values{
+		"classifiers": list, "choice": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["classifier"] != "Gamma" {
+		t.Fatalf("choice by index = %q", out["classifier"])
+	}
+	// Errors.
+	for _, bad := range []workflow.Values{
+		{"classifiers": list},                    // no choice
+		{"classifiers": list, "choice": "Delta"}, // unknown name
+		{"classifiers": list, "choice": "9"},     // index out of range
+	} {
+		if _, err := runTool(t, tk, "ClassifierSelector", bad); err == nil {
+			t.Errorf("accepted %v", bad)
+		}
+	}
+}
+
+func TestAttributeSelectorDefault(t *testing.T) {
+	tk := NewToolkit()
+	weather := arff.Format(datagen.Weather())
+	// Default: last attribute.
+	out, err := runTool(t, tk, "AttributeSelector", workflow.Values{"dataset": weather})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["attribute"] != "play" {
+		t.Fatalf("default attribute = %q", out["attribute"])
+	}
+	if _, err := runTool(t, tk, "AttributeSelector", workflow.Values{
+		"dataset": weather, "choice": "ghost"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestFFTUnitErrors(t *testing.T) {
+	tk := NewToolkit()
+	if _, err := runTool(t, tk, "FFT", workflow.Values{"signal": ""}); err == nil {
+		t.Fatal("empty signal accepted")
+	}
+	if _, err := runTool(t, tk, "FFT", workflow.Values{"signal": "1,two,3"}); err == nil {
+		t.Fatal("non-numeric sample accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/datagen"
+	"repro/internal/workflow"
+)
+
+// TestXMLWorkflowAgainstLiveServices is the headless-enactor scenario of
+// cmd/dmflow: a workflow authored purely from serialisable units (const
+// dataset source, SOAP service calls, viewers), exported to Triana-style
+// XML, re-imported, and executed against live services — the exported
+// graph is a complete, portable description of the analysis.
+func TestXMLWorkflowAgainstLiveServices(t *testing.T) {
+	d := deploy(t)
+
+	// Author the graph: dataset -> J48.classify -> TreeAnalyzer.analyze.
+	g := workflow.NewGraph("portable-case-study")
+	g.MustAdd("data", &workflow.ConstUnit{UnitName: "LocalDataset",
+		Values: workflow.Values{"dataset": arff.Format(datagen.BreastCancer())}})
+	g.MustAdd("classify", &workflow.SOAPUnit{
+		Endpoint:  d.EndpointURL("J48"),
+		Service:   "J48",
+		Operation: "classify",
+		In:        []string{"dataset", "options", "attribute"},
+		Out:       []string{"tree"},
+	})
+	g.Task("classify").Params["attribute"] = "Class"
+	g.MustAdd("analyze", &workflow.SOAPUnit{
+		Endpoint:  d.EndpointURL("TreeAnalyzer"),
+		Service:   "TreeAnalyzer",
+		Operation: "analyze",
+		In:        []string{"tree"},
+		Out:       []string{"root", "depth", "leaves", "attributes", "rules"},
+	})
+	viewer := &workflow.ViewerUnit{UnitName: "RootViewer", Port: "root"}
+	g.MustAdd("view", viewer)
+	g.MustConnect("data", "dataset", "classify", "dataset")
+	g.MustConnect("classify", "tree", "analyze", "tree")
+	g.MustConnect("analyze", "root", "view", "root")
+
+	// Export, discard the original, re-import.
+	xmlDoc, err := workflow.MarshalXML(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := workflow.UnmarshalXMLBytes(xmlDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The viewer in the restored graph is a fresh instance; find it.
+	restoredViewer, ok := restored.Task("view").Unit.(*workflow.ViewerUnit)
+	if !ok {
+		t.Fatalf("restored viewer is %T", restored.Task("view").Unit)
+	}
+	res, err := workflow.NewEngine().Run(context.Background(), restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root, _ := res.Value("analyze", "root"); root != "node-caps" {
+		t.Fatalf("analyzed root = %q", root)
+	}
+	if seen := restoredViewer.Seen(); len(seen) != 1 || seen[0] != "node-caps" {
+		t.Fatalf("viewer saw %v", seen)
+	}
+	// Sanity: the XML mentions both service endpoints.
+	if !strings.Contains(string(xmlDoc), "/services/J48") ||
+		!strings.Contains(string(xmlDoc), "/services/TreeAnalyzer") {
+		t.Fatalf("XML lacks endpoints:\n%s", xmlDoc)
+	}
+}

@@ -1,0 +1,136 @@
+package csvconv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/dataset"
+)
+
+const sample = `age,city,income
+25,cardiff,31000
+31,london,42000
+?,cardiff,28000
+40,swansea,?
+`
+
+func TestParseInference(t *testing.T) {
+	d, err := ParseString(sample, Options{HasHeader: true})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.NumInstances() != 4 || d.NumAttributes() != 3 {
+		t.Fatalf("shape %dx%d", d.NumInstances(), d.NumAttributes())
+	}
+	if !d.Attrs[0].IsNumeric() {
+		t.Fatal("age should infer numeric")
+	}
+	if !d.Attrs[1].IsNominal() {
+		t.Fatal("city should infer nominal")
+	}
+	if got := d.Attrs[1].NumValues(); got != 3 {
+		t.Fatalf("city has %d values", got)
+	}
+	if !d.Instances[2].IsMissing(0) || !d.Instances[3].IsMissing(2) {
+		t.Fatal("? not treated as missing")
+	}
+	if d.ClassIndex != 2 {
+		t.Fatalf("class index = %d", d.ClassIndex)
+	}
+}
+
+func TestParseNoHeader(t *testing.T) {
+	d, err := ParseString("1,a\n2,b\n", Options{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Attrs[0].Name != "att1" || d.Attrs[1].Name != "att2" {
+		t.Fatalf("default names: %s, %s", d.Attrs[0].Name, d.Attrs[1].Name)
+	}
+}
+
+func TestForceNominal(t *testing.T) {
+	d, err := ParseString("code\n1\n2\n1\n", Options{HasHeader: true, ForceNominal: []string{"code"}})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !d.Attrs[0].IsNominal() {
+		t.Fatal("forced column not nominal")
+	}
+}
+
+func TestCustomMissingTokens(t *testing.T) {
+	d, err := ParseString("x\n1\nNA\n3\n", Options{HasHeader: true, MissingTokens: []string{"NA"}})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !d.Instances[1].IsMissing(0) {
+		t.Fatal("NA not treated as missing")
+	}
+	if !d.Attrs[0].IsNumeric() {
+		t.Fatal("column with NA should still infer numeric")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("", Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ParseString("a,b\n", Options{HasHeader: true}); err == nil {
+		t.Fatal("header-only input accepted")
+	}
+	if _, err := ParseString("a,b\n1\n", Options{HasHeader: true}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestCSVtoARFFtoCSVRoundTrip(t *testing.T) {
+	d, err := ParseString(sample, Options{HasHeader: true, Relation: "people"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSV -> dataset -> ARFF -> dataset -> CSV: cells must survive.
+	a := arff.Format(d)
+	d2, err := arff.ParseString(a)
+	if err != nil {
+		t.Fatalf("ARFF reparse: %v\n%s", err, a)
+	}
+	csvOut := Format(d2)
+	d3, err := ParseString(csvOut, Options{HasHeader: true})
+	if err != nil {
+		t.Fatalf("CSV reparse: %v\n%s", err, csvOut)
+	}
+	if d3.NumInstances() != d.NumInstances() {
+		t.Fatalf("row count changed: %d -> %d", d.NumInstances(), d3.NumInstances())
+	}
+	for i := range d.Instances {
+		for col := range d.Attrs {
+			want := d.CellString(d.Instances[i], col)
+			got := d3.CellString(d3.Instances[i], col)
+			if want != got && !(want == "31000" && got == "31000") {
+				if normNum(want) != normNum(got) {
+					t.Fatalf("cell (%d,%d): %q != %q", i, col, want, got)
+				}
+			}
+		}
+	}
+}
+
+func normNum(s string) string { return strings.TrimSuffix(s, ".0") }
+
+func TestWriteHeaderAndMissing(t *testing.T) {
+	d := dataset.New("w",
+		dataset.NewNumericAttribute("x"),
+		dataset.NewNominalAttribute("c", "a", "b"))
+	d.MustAdd(dataset.NewInstance([]float64{1.5, 0}))
+	d.MustAdd(dataset.NewInstance([]float64{dataset.Missing, 1}))
+	out := Format(d)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,c" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "?,b" {
+		t.Fatalf("missing row = %q", lines[2])
+	}
+}

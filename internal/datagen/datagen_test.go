@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestFigure3Stats asserts the breast-cancer replica reproduces every
+// statistic the paper prints in Figure 3 (experiment E3).
+func TestFigure3Stats(t *testing.T) {
+	d := BreastCancer()
+	s := dataset.Summarize(d)
+	if s.NumInstances != 286 {
+		t.Fatalf("Num Instances = %d, want 286", s.NumInstances)
+	}
+	if s.NumAttributes != 10 {
+		t.Fatalf("Num Attributes = %d, want 10", s.NumAttributes)
+	}
+	if s.NumDiscrete != 10 || s.NumContinuous != 0 {
+		t.Fatalf("discrete=%d continuous=%d, want 10/0", s.NumDiscrete, s.NumContinuous)
+	}
+	if s.MissingCells != 9 {
+		t.Fatalf("missing cells = %d, want 9", s.MissingCells)
+	}
+	if s.MissingPct < 0.25 || s.MissingPct > 0.35 {
+		t.Fatalf("missing pct = %.2f, want ~0.3", s.MissingPct)
+	}
+	// Figure 3's per-attribute table: name, distinct count, missing count.
+	want := []struct {
+		name     string
+		distinct int
+		missing  int
+	}{
+		{"age", 6, 0},
+		{"menopause", 3, 0},
+		{"tumor-size", 11, 0},
+		{"inv-nodes", 7, 0},
+		{"node-caps", 2, 8},
+		{"deg-malig", 3, 0},
+		{"breast", 2, 0},
+		{"breast-quad", 5, 1},
+		{"irradiat", 2, 0},
+		{"Class", 2, 0},
+	}
+	for i, w := range want {
+		a := s.PerAttribute[i]
+		if a.Name != w.name {
+			t.Errorf("attribute %d: name %q, want %q", i+1, a.Name, w.name)
+		}
+		if a.Distinct != w.distinct {
+			t.Errorf("%s: distinct = %d, want %d", w.name, a.Distinct, w.distinct)
+		}
+		if a.Missing != w.missing {
+			t.Errorf("%s: missing = %d, want %d", w.name, a.Missing, w.missing)
+		}
+		if a.Type != "Enum" {
+			t.Errorf("%s: type = %q, want Enum", w.name, a.Type)
+		}
+	}
+	// 201 no-recurrence / 85 recurrence.
+	counts := d.ClassCounts()
+	if counts[0] != 201 || counts[1] != 85 {
+		t.Fatalf("class split %v, want [201 85]", counts)
+	}
+}
+
+func TestBreastCancerDeterministic(t *testing.T) {
+	a, b := BreastCancer(), BreastCancer()
+	if a.NumInstances() != b.NumInstances() {
+		t.Fatal("sizes differ across calls")
+	}
+	for i := range a.Instances {
+		for col := range a.Attrs {
+			av, bv := a.Instances[i].Values[col], b.Instances[i].Values[col]
+			if av != bv && !(dataset.IsMissing(av) && dataset.IsMissing(bv)) {
+				t.Fatalf("cell (%d,%d) differs across calls", i, col)
+			}
+		}
+	}
+}
+
+func TestWeather(t *testing.T) {
+	d := Weather()
+	if d.NumInstances() != 14 || d.NumAttributes() != 5 {
+		t.Fatalf("shape %dx%d", d.NumInstances(), d.NumAttributes())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 9 || counts[1] != 5 {
+		t.Fatalf("play distribution %v, want [9 5]", counts)
+	}
+}
+
+func TestWeatherNumeric(t *testing.T) {
+	d := WeatherNumeric()
+	if !d.Attrs[1].IsNumeric() || !d.Attrs[2].IsNumeric() {
+		t.Fatal("temperature/humidity should be numeric")
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 9 || counts[1] != 5 {
+		t.Fatalf("play distribution %v", counts)
+	}
+}
+
+func TestContactLenses(t *testing.T) {
+	d := ContactLenses()
+	if d.NumInstances() != 24 {
+		t.Fatalf("instances = %d, want 24", d.NumInstances())
+	}
+	counts := d.ClassCounts()
+	// Standard distribution: 5 soft, 4 hard, 15 none.
+	if counts[0] != 5 || counts[1] != 4 || counts[2] != 15 {
+		t.Fatalf("lens distribution %v, want [5 4 15]", counts)
+	}
+}
+
+func TestIrisLike(t *testing.T) {
+	d := IrisLike(50, 7)
+	if d.NumInstances() != 150 || d.NumClasses() != 3 {
+		t.Fatalf("shape: %d instances, %d classes", d.NumInstances(), d.NumClasses())
+	}
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n != 50 {
+			t.Fatalf("class %d has %v instances", c, n)
+		}
+	}
+	// Petal length separates setosa strongly: class 0 mean ~1.46.
+	var sum, n float64
+	for _, in := range d.Instances {
+		if in.Values[4] == 0 {
+			sum += in.Values[2]
+			n++
+		}
+	}
+	if mean := sum / n; mean < 1.0 || mean > 2.0 {
+		t.Fatalf("setosa petal length mean = %v", mean)
+	}
+}
+
+func TestGaussianClusters(t *testing.T) {
+	d := GaussianClusters(3, 300, 2, 10, 11)
+	if d.NumInstances() != 300 || d.NumClasses() != 3 {
+		t.Fatalf("shape: %d instances, %d classes", d.NumInstances(), d.NumClasses())
+	}
+	// With sep=10 the clusters are far apart: per-class x means near 0/10/20.
+	sums := make([]float64, 3)
+	counts := make([]float64, 3)
+	for _, in := range d.Instances {
+		c := int(in.Values[2])
+		sums[c] += in.Values[0]
+		counts[c]++
+	}
+	for c := 0; c < 3; c++ {
+		mean := sums[c] / counts[c]
+		want := float64(c) * 10
+		if mean < want-1 || mean > want+1 {
+			t.Fatalf("cluster %d x-mean = %v, want ~%v", c, mean, want)
+		}
+	}
+}
+
+func TestBaskets(t *testing.T) {
+	trans := Baskets(500, 20, 3, 0.95, 13)
+	if len(trans) != 500 {
+		t.Fatalf("transactions = %d", len(trans))
+	}
+	// Planted rule: item0 => item1 with high confidence.
+	both, onlyA := 0, 0
+	for _, tr := range trans {
+		hasA, hasB := false, false
+		for _, it := range tr {
+			if it == "item0" {
+				hasA = true
+			}
+			if it == "item1" {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			both++
+		} else if hasA {
+			onlyA++
+		}
+	}
+	if both == 0 || float64(both)/float64(both+onlyA) < 0.8 {
+		t.Fatalf("planted rule weak: both=%d onlyA=%d", both, onlyA)
+	}
+}
+
+func TestRandomNominal(t *testing.T) {
+	d := RandomNominal(200, 5, 3, 0.05, 17)
+	if d.NumInstances() != 200 || d.NumAttributes() != 6 {
+		t.Fatalf("shape %dx%d", d.NumInstances(), d.NumAttributes())
+	}
+	// The class is a near-deterministic parity of a0+a1: check correlation.
+	agree := 0
+	for _, in := range d.Instances {
+		want := (int(in.Values[0]) + int(in.Values[1])) % 2
+		if int(in.Values[5]) == want {
+			agree++
+		}
+	}
+	if agree < 170 {
+		t.Fatalf("parity rule agreement %d/200", agree)
+	}
+}
+
+func TestSine(t *testing.T) {
+	xs := Sine(256, []float64{8}, []float64{1}, 0, 3)
+	if len(xs) != 256 {
+		t.Fatalf("samples = %d", len(xs))
+	}
+	// Pure tone: values bounded by amplitude.
+	for _, v := range xs {
+		if v > 1.01 || v < -1.01 {
+			t.Fatalf("sample %v exceeds amplitude", v)
+		}
+	}
+}

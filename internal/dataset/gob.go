@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// attributeWire is the exported mirror of Attribute for gob encoding; model
+// snapshots and streamed schemas travel through it.
+type attributeWire struct {
+	Name   string
+	Kind   Kind
+	Values []string
+}
+
+// GobEncode implements gob.GobEncoder.
+func (a *Attribute) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(attributeWire{Name: a.Name, Kind: a.Kind, Values: a.values})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (a *Attribute) GobDecode(b []byte) error {
+	var w attributeWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	a.Name = w.Name
+	a.Kind = w.Kind
+	a.values = nil
+	a.index = nil
+	for _, v := range w.Values {
+		a.addValue(v)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrainTestSplit partitions the dataset into train/test shares, with trainFrac
+// of the instances (after shuffling with rng) in the training share. The
+// returned datasets share the schema with d but not the instance slice.
+func TrainTestSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	idx := rng.Perm(len(d.Instances))
+	nTrain := int(float64(len(idx)) * trainFrac)
+	if nTrain == 0 || nTrain == len(idx) {
+		return nil, nil, fmt.Errorf("dataset: split leaves an empty share (%d instances)", len(idx))
+	}
+	trIns := make([]*Instance, 0, nTrain)
+	teIns := make([]*Instance, 0, len(idx)-nTrain)
+	for i, j := range idx {
+		if i < nTrain {
+			trIns = append(trIns, d.Instances[j])
+		} else {
+			teIns = append(teIns, d.Instances[j])
+		}
+	}
+	return d.ShallowWith(trIns), d.ShallowWith(teIns), nil
+}
+
+// StratifiedSplit partitions the dataset preserving the class distribution in
+// both shares. The class attribute must be nominal.
+func StratifiedSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	ca := d.ClassAttribute()
+	if ca == nil || !ca.IsNominal() {
+		return nil, nil, fmt.Errorf("dataset: stratified split requires a nominal class")
+	}
+	byClass := make([][]*Instance, ca.NumValues()+1) // last bucket: missing class
+	for _, in := range d.Instances {
+		v := in.Values[d.ClassIndex]
+		if IsMissing(v) {
+			byClass[ca.NumValues()] = append(byClass[ca.NumValues()], in)
+		} else {
+			byClass[int(v)] = append(byClass[int(v)], in)
+		}
+	}
+	var trIns, teIns []*Instance
+	for _, bucket := range byClass {
+		rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+		n := int(float64(len(bucket)) * trainFrac)
+		trIns = append(trIns, bucket[:n]...)
+		teIns = append(teIns, bucket[n:]...)
+	}
+	if len(trIns) == 0 || len(teIns) == 0 {
+		return nil, nil, fmt.Errorf("dataset: stratified split leaves an empty share")
+	}
+	rng.Shuffle(len(trIns), func(i, j int) { trIns[i], trIns[j] = trIns[j], trIns[i] })
+	rng.Shuffle(len(teIns), func(i, j int) { teIns[i], teIns[j] = teIns[j], teIns[i] })
+	return d.ShallowWith(trIns), d.ShallowWith(teIns), nil
+}
+
+// Folds returns k cross-validation folds: folds[i] is the held-out test share
+// of fold i, and the corresponding training share is every other fold. When
+// the class attribute is nominal the folds are stratified.
+func Folds(d *Dataset, k int, rng *rand.Rand) ([][]*Instance, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 folds, got %d", k)
+	}
+	if k > d.NumInstances() {
+		return nil, fmt.Errorf("dataset: %d folds exceed %d instances", k, d.NumInstances())
+	}
+	ordered := make([]*Instance, 0, len(d.Instances))
+	ca := d.ClassAttribute()
+	if ca != nil && ca.IsNominal() {
+		// Round-robin by class for stratification.
+		byClass := make([][]*Instance, ca.NumValues()+1)
+		for _, in := range d.Instances {
+			v := in.Values[d.ClassIndex]
+			if IsMissing(v) {
+				byClass[ca.NumValues()] = append(byClass[ca.NumValues()], in)
+			} else {
+				byClass[int(v)] = append(byClass[int(v)], in)
+			}
+		}
+		for _, bucket := range byClass {
+			rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+			ordered = append(ordered, bucket...)
+		}
+	} else {
+		ordered = append(ordered, d.Instances...)
+		rng.Shuffle(len(ordered), func(i, j int) { ordered[i], ordered[j] = ordered[j], ordered[i] })
+	}
+	folds := make([][]*Instance, k)
+	for i, in := range ordered {
+		folds[i%k] = append(folds[i%k], in)
+	}
+	return folds, nil
+}
+
+// TrainTestForFold assembles the train/test datasets for fold i of folds.
+func TrainTestForFold(d *Dataset, folds [][]*Instance, i int) (train, test *Dataset) {
+	var trIns []*Instance
+	for j, f := range folds {
+		if j != i {
+			trIns = append(trIns, f...)
+		}
+	}
+	return d.ShallowWith(trIns), d.ShallowWith(folds[i])
+}
+
+// Resample returns a bootstrap sample of d with n instances drawn with
+// replacement using rng (bagging substrate).
+func Resample(d *Dataset, n int, rng *rand.Rand) *Dataset {
+	ins := make([]*Instance, n)
+	for i := range ins {
+		ins[i] = d.Instances[rng.Intn(len(d.Instances))]
+	}
+	return d.ShallowWith(ins)
+}
+
+// WeightedResample draws n instances with replacement with probability
+// proportional to instance weight; the drawn copies have unit weight
+// (boosting substrate).
+func WeightedResample(d *Dataset, n int, rng *rand.Rand) *Dataset {
+	cum := make([]float64, len(d.Instances))
+	var total float64
+	for i, in := range d.Instances {
+		total += in.Weight
+		cum[i] = total
+	}
+	ins := make([]*Instance, n)
+	for i := range ins {
+		r := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		c := d.Instances[lo].Clone()
+		c.Weight = 1
+		ins[i] = c
+	}
+	return d.ShallowWith(ins)
+}

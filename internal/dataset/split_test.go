@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainTestSplit(t *testing.T) {
+	d := twoClassSet(t, 100)
+	train, test, err := TrainTestSplit(d, 0.66, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("TrainTestSplit: %v", err)
+	}
+	if train.NumInstances() != 66 || test.NumInstances() != 34 {
+		t.Fatalf("split sizes %d/%d", train.NumInstances(), test.NumInstances())
+	}
+	// Shares are disjoint and cover everything.
+	seen := map[*Instance]int{}
+	for _, in := range train.Instances {
+		seen[in]++
+	}
+	for _, in := range test.Instances {
+		seen[in]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("shares cover %d distinct instances", len(seen))
+	}
+	for _, n := range seen {
+		if n != 1 {
+			t.Fatal("instance appears in both shares")
+		}
+	}
+	if _, _, err := TrainTestSplit(d, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("trainFrac 0 accepted")
+	}
+	if _, _, err := TrainTestSplit(d, 1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("trainFrac > 1 accepted")
+	}
+}
+
+func TestStratifiedSplitPreservesDistribution(t *testing.T) {
+	d := twoClassSet(t, 100) // exactly 50/50
+	train, test, err := StratifiedSplit(d, 0.7, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("StratifiedSplit: %v", err)
+	}
+	tc := train.ClassCounts()
+	if tc[0] != 35 || tc[1] != 35 {
+		t.Fatalf("train class counts %v, want perfect stratification", tc)
+	}
+	ec := test.ClassCounts()
+	if ec[0] != 15 || ec[1] != 15 {
+		t.Fatalf("test class counts %v", ec)
+	}
+}
+
+func TestFoldsStratifiedAndComplete(t *testing.T) {
+	d := twoClassSet(t, 100)
+	folds, err := Folds(d, 10, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Folds: %v", err)
+	}
+	total := 0
+	for i, f := range folds {
+		total += len(f)
+		if len(f) != 10 {
+			t.Fatalf("fold %d has %d instances", i, len(f))
+		}
+		// Stratification: each fold should hold 5 of each class.
+		var c0 int
+		for _, in := range f {
+			if in.Values[2] == 0 {
+				c0++
+			}
+		}
+		if c0 != 5 {
+			t.Fatalf("fold %d has %d of class 0", i, c0)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("folds cover %d instances", total)
+	}
+	train, test := TrainTestForFold(d, folds, 0)
+	if train.NumInstances() != 90 || test.NumInstances() != 10 {
+		t.Fatalf("fold-0 shares: %d/%d", train.NumInstances(), test.NumInstances())
+	}
+	if _, err := Folds(d, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Folds(d, 101, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestFoldsProperty(t *testing.T) {
+	// For any n >= k >= 2, folds partition the instances exactly.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%200 + 4
+		k := int(kRaw)%3 + 2
+		d := New("p", NewNumericAttribute("x"), NewNominalAttribute("c", "a", "b"))
+		d.ClassIndex = 1
+		for i := 0; i < n; i++ {
+			d.MustAdd(NewInstance([]float64{float64(i), float64(i % 2)}))
+		}
+		folds, err := Folds(d, k, rand.New(rand.NewSource(int64(n*k))))
+		if err != nil {
+			return false
+		}
+		seen := map[*Instance]bool{}
+		total := 0
+		for _, f := range folds {
+			total += len(f)
+			for _, in := range f {
+				if seen[in] {
+					return false
+				}
+				seen[in] = true
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	d := twoClassSet(t, 10)
+	r := Resample(d, 25, rand.New(rand.NewSource(4)))
+	if r.NumInstances() != 25 {
+		t.Fatalf("Resample size = %d", r.NumInstances())
+	}
+}
+
+func TestWeightedResampleFavoursHeavy(t *testing.T) {
+	d := twoClassSet(t, 10)
+	// Make instance 0 dominate the weight mass.
+	for i, in := range d.Instances {
+		if i == 0 {
+			in.Weight = 1000
+		} else {
+			in.Weight = 1
+		}
+	}
+	r := WeightedResample(d, 200, rand.New(rand.NewSource(5)))
+	heavy := 0
+	for _, in := range r.Instances {
+		if in.Values[0] == 0 {
+			heavy++
+		}
+	}
+	if heavy < 150 {
+		t.Fatalf("heavy instance drawn only %d/200 times", heavy)
+	}
+	// Draws carry unit weight.
+	for _, in := range r.Instances {
+		if in.Weight != 1 {
+			t.Fatalf("resampled weight = %v", in.Weight)
+		}
+	}
+}

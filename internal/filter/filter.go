@@ -1,0 +1,369 @@
+// Package filter implements dataset transformation tools — the "set of
+// tools to manipulate different data types" §3 requires beyond format
+// conversion: discretisation, normalisation, standardisation,
+// missing-value replacement and attribute removal, in the style of WEKA's
+// unsupervised filters. Filters return new datasets; inputs are never
+// mutated.
+package filter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Filter transforms a dataset.
+type Filter interface {
+	Name() string
+	Apply(d *dataset.Dataset) (*dataset.Dataset, error)
+}
+
+// Discretize bins numeric attributes into nominal ranges.
+type Discretize struct {
+	// Bins is the number of intervals (default 10).
+	Bins int
+	// EqualFrequency selects equal-frequency binning instead of
+	// equal-width.
+	EqualFrequency bool
+	// Columns restricts the filter to these column indices (nil = every
+	// numeric non-class column).
+	Columns []int
+}
+
+// Name implements Filter.
+func (f *Discretize) Name() string { return "Discretize" }
+
+// Apply implements Filter.
+func (f *Discretize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	bins := f.Bins
+	if bins <= 0 {
+		bins = 10
+	}
+	target := map[int]bool{}
+	if f.Columns != nil {
+		for _, c := range f.Columns {
+			if c < 0 || c >= d.NumAttributes() {
+				return nil, fmt.Errorf("filter: column %d out of range", c)
+			}
+			if !d.Attrs[c].IsNumeric() {
+				return nil, fmt.Errorf("filter: column %d (%s) is not numeric", c, d.Attrs[c].Name)
+			}
+			target[c] = true
+		}
+	} else {
+		for c, a := range d.Attrs {
+			if c != d.ClassIndex && a.IsNumeric() {
+				target[c] = true
+			}
+		}
+	}
+	// Compute cutpoints per target column.
+	cuts := map[int][]float64{}
+	for c := range target {
+		vals := d.NumericColumn(c)
+		if len(vals) == 0 {
+			cuts[c] = nil
+			continue
+		}
+		if f.EqualFrequency {
+			sort.Float64s(vals)
+			var cp []float64
+			for b := 1; b < bins; b++ {
+				idx := b * len(vals) / bins
+				if idx > 0 && idx < len(vals) {
+					// Cut between the neighbouring values so the boundary
+					// value lands in the lower bin.
+					cp = append(cp, (vals[idx-1]+vals[idx])/2)
+				}
+			}
+			cuts[c] = dedupFloats(cp)
+		} else {
+			min, max := vals[0], vals[0]
+			for _, v := range vals {
+				min, max = math.Min(min, v), math.Max(max, v)
+			}
+			if max == min {
+				cuts[c] = nil
+				continue
+			}
+			var cp []float64
+			width := (max - min) / float64(bins)
+			for b := 1; b < bins; b++ {
+				cp = append(cp, min+float64(b)*width)
+			}
+			cuts[c] = cp
+		}
+	}
+	// Build the new schema.
+	attrs := make([]*dataset.Attribute, d.NumAttributes())
+	for c, a := range d.Attrs {
+		if !target[c] {
+			attrs[c] = a.Clone()
+			continue
+		}
+		cp := cuts[c]
+		labels := make([]string, len(cp)+1)
+		for b := range labels {
+			lo, hi := "-inf", "inf"
+			if b > 0 {
+				lo = fmt.Sprintf("%.4g", cp[b-1])
+			}
+			if b < len(cp) {
+				hi = fmt.Sprintf("%.4g", cp[b])
+			}
+			labels[b] = "(" + lo + "-" + hi + "]"
+		}
+		attrs[c] = dataset.NewNominalAttribute(a.Name, labels...)
+	}
+	out := dataset.New(d.Relation, attrs...)
+	out.ClassIndex = d.ClassIndex
+	for _, in := range d.Instances {
+		vals := make([]float64, len(in.Values))
+		copy(vals, in.Values)
+		for c := range target {
+			v := in.Values[c]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			vals[c] = float64(binOf(cuts[c], v))
+		}
+		out.Instances = append(out.Instances, &dataset.Instance{Values: vals, Weight: in.Weight})
+	}
+	return out, nil
+}
+
+func binOf(cuts []float64, v float64) int {
+	return sort.SearchFloat64s(cuts, v)
+}
+
+func dedupFloats(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Normalize rescales numeric attributes linearly into [0,1].
+type Normalize struct{}
+
+// Name implements Filter.
+func (Normalize) Name() string { return "Normalize" }
+
+// Apply implements Filter.
+func (Normalize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	out := d.Clone()
+	for c, a := range out.Attrs {
+		if c == out.ClassIndex || !a.IsNumeric() {
+			continue
+		}
+		vals := out.NumericColumn(c)
+		if len(vals) == 0 {
+			continue
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+		span := max - min
+		for _, in := range out.Instances {
+			v := in.Values[c]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if span == 0 {
+				in.Values[c] = 0
+			} else {
+				in.Values[c] = (v - min) / span
+			}
+		}
+	}
+	return out, nil
+}
+
+// Standardize rescales numeric attributes to zero mean, unit variance.
+type Standardize struct{}
+
+// Name implements Filter.
+func (Standardize) Name() string { return "Standardize" }
+
+// Apply implements Filter.
+func (Standardize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	out := d.Clone()
+	for c, a := range out.Attrs {
+		if c == out.ClassIndex || !a.IsNumeric() {
+			continue
+		}
+		vals := out.NumericColumn(c)
+		if len(vals) < 2 {
+			continue
+		}
+		var sum, sumSq float64
+		for _, v := range vals {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(vals))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		sd := math.Sqrt(math.Max(variance, 0))
+		for _, in := range out.Instances {
+			v := in.Values[c]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if sd == 0 {
+				in.Values[c] = 0
+			} else {
+				in.Values[c] = (v - mean) / sd
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReplaceMissing fills missing cells with the column mean (numeric) or mode
+// (nominal).
+type ReplaceMissing struct{}
+
+// Name implements Filter.
+func (ReplaceMissing) Name() string { return "ReplaceMissingValues" }
+
+// Apply implements Filter.
+func (ReplaceMissing) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	out := d.Clone()
+	for c, a := range out.Attrs {
+		if c == out.ClassIndex {
+			continue
+		}
+		var fill float64
+		switch {
+		case a.IsNumeric():
+			vals := out.NumericColumn(c)
+			if len(vals) == 0 {
+				continue
+			}
+			var sum float64
+			for _, v := range vals {
+				sum += v
+			}
+			fill = sum / float64(len(vals))
+		case a.IsNominal():
+			counts := out.ValueCounts(c)
+			best, bestW := -1, -1.0
+			for v, w := range counts {
+				if w > bestW {
+					best, bestW = v, w
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			fill = float64(best)
+		default:
+			continue
+		}
+		for _, in := range out.Instances {
+			if dataset.IsMissing(in.Values[c]) {
+				in.Values[c] = fill
+			}
+		}
+	}
+	return out, nil
+}
+
+// RemoveAttributes drops the named columns (the class attribute cannot be
+// removed).
+type RemoveAttributes struct {
+	Names []string
+}
+
+// Name implements Filter.
+func (RemoveAttributes) Name() string { return "Remove" }
+
+// Apply implements Filter.
+func (f RemoveAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	drop := map[string]bool{}
+	for _, n := range f.Names {
+		a, i := d.AttributeByName(n)
+		if a == nil {
+			return nil, fmt.Errorf("filter: no attribute %q", n)
+		}
+		if i == d.ClassIndex {
+			return nil, fmt.Errorf("filter: cannot remove the class attribute %q", n)
+		}
+		drop[n] = true
+	}
+	var keep []int
+	for i, a := range d.Attrs {
+		if !drop[a.Name] {
+			keep = append(keep, i)
+		}
+	}
+	return d.Project(keep)
+}
+
+// KeepAttributes is the complement of RemoveAttributes: it projects onto
+// the named columns plus the class.
+type KeepAttributes struct {
+	Names []string
+}
+
+// Name implements Filter.
+func (KeepAttributes) Name() string { return "Keep" }
+
+// Apply implements Filter.
+func (f KeepAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	var cols []int
+	for _, n := range f.Names {
+		_, i := d.AttributeByName(n)
+		if i < 0 {
+			return nil, fmt.Errorf("filter: no attribute %q", n)
+		}
+		cols = append(cols, i)
+	}
+	if d.ClassIndex >= 0 {
+		found := false
+		for _, c := range cols {
+			if c == d.ClassIndex {
+				found = true
+			}
+		}
+		if !found {
+			cols = append(cols, d.ClassIndex)
+		}
+	}
+	sort.Ints(cols)
+	return d.Project(cols)
+}
+
+// Chain applies filters in order.
+type Chain []Filter
+
+// Name implements Filter.
+func (c Chain) Name() string {
+	names := make([]string, len(c))
+	for i, f := range c {
+		names[i] = f.Name()
+	}
+	return strings.Join(names, "->")
+}
+
+// Apply implements Filter.
+func (c Chain) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cur := d
+	for _, f := range c {
+		next, err := f.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("filter: %s: %w", f.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

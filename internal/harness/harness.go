@@ -1,0 +1,190 @@
+// Package harness reproduces the invocation-state management experiment of
+// §4.5. The paper found that the naive Web Services deployment paid a
+// "significant performance penalty" on repeated invocations: each call
+// rebuilt the algorithm object from its serialised state on disk and
+// re-serialised it on completion. The fix was "a harness ... that
+// maintained an algorithm instance object in memory", preventing the
+// infrastructure from serialising the object after every invocation.
+//
+// Backend abstracts the two strategies: SerialisingBackend is the naive
+// per-call round-trip through the disk store, CachedBackend is the paper's
+// in-memory harness (an LRU instance pool). The benchmark harness measures
+// both over the same workload.
+package harness
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/model"
+)
+
+// Builder constructs (typically: trains) a fresh algorithm instance. It is
+// invoked only when no prior state exists for the key.
+type Builder func() (classify.Classifier, error)
+
+// Backend manages algorithm instances across invocations.
+type Backend interface {
+	// Acquire returns the instance for key, creating it via build on first
+	// use.
+	Acquire(key string, build Builder) (classify.Classifier, error)
+	// Release signals invocation completion, giving the backend the chance
+	// to persist or retain state.
+	Release(key string, c classify.Classifier) error
+	// Invocations returns the number of completed Acquire/Release cycles.
+	Invocations() int64
+}
+
+// SerialisingBackend is the naive deployment: every Acquire deserialises
+// the instance from the disk store (building it first if absent), and every
+// Release serialises it back — exactly the per-invocation cost the paper
+// measured.
+type SerialisingBackend struct {
+	Store *model.Store
+
+	mu    sync.Mutex
+	calls int64
+}
+
+// Acquire implements Backend.
+func (b *SerialisingBackend) Acquire(key string, build Builder) (classify.Classifier, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, err := b.Store.Load(key)
+	if err == nil {
+		return c, nil
+	}
+	c, err = build()
+	if err != nil {
+		return nil, fmt.Errorf("harness: building instance %q: %w", key, err)
+	}
+	if err := b.Store.Save(key, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Release implements Backend: the state is serialised back to disk.
+func (b *SerialisingBackend) Release(key string, c classify.Classifier) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	return b.Store.Save(key, c)
+}
+
+// Invocations implements Backend.
+func (b *SerialisingBackend) Invocations() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.calls
+}
+
+// CachedBackend is the paper's harness: instances stay in memory between
+// invocations, bounded by an LRU pool. Evicted instances are serialised to
+// the optional overflow store so no state is lost.
+type CachedBackend struct {
+	// MaxEntries bounds the pool (0 = unbounded).
+	MaxEntries int
+	// Overflow, when set, receives evicted instances.
+	Overflow *model.Store
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+	calls int64
+}
+
+type cacheItem struct {
+	key string
+	c   classify.Classifier
+}
+
+// NewCachedBackend returns a harness with the given pool bound.
+func NewCachedBackend(maxEntries int) *CachedBackend {
+	return &CachedBackend{MaxEntries: maxEntries,
+		ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Acquire implements Backend.
+func (b *CachedBackend) Acquire(key string, build Builder) (classify.Classifier, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ll == nil {
+		b.ll = list.New()
+		b.items = map[string]*list.Element{}
+	}
+	if el, ok := b.items[key]; ok {
+		b.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).c, nil
+	}
+	// Try the overflow store before building from scratch.
+	var c classify.Classifier
+	if b.Overflow != nil {
+		if loaded, err := b.Overflow.Load(key); err == nil {
+			c = loaded
+		}
+	}
+	if c == nil {
+		built, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("harness: building instance %q: %w", key, err)
+		}
+		c = built
+	}
+	el := b.ll.PushFront(&cacheItem{key: key, c: c})
+	b.items[key] = el
+	if b.MaxEntries > 0 && b.ll.Len() > b.MaxEntries {
+		oldest := b.ll.Back()
+		b.ll.Remove(oldest)
+		it := oldest.Value.(*cacheItem)
+		delete(b.items, it.key)
+		if b.Overflow != nil {
+			if err := b.Overflow.Save(it.key, it.c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Release implements Backend: a no-op beyond accounting — the instance
+// stays live in memory, which is the entire point of the harness.
+func (b *CachedBackend) Release(key string, c classify.Classifier) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	return nil
+}
+
+// Invocations implements Backend.
+func (b *CachedBackend) Invocations() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.calls
+}
+
+// Len returns the number of pooled instances.
+func (b *CachedBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ll == nil {
+		return 0
+	}
+	return b.ll.Len()
+}
+
+// Invoke runs one classify invocation against a backend: acquire the
+// instance for key (building it with build on first use), apply fn,
+// release. This is the repeated-invocation unit of the §4.5 experiment.
+func Invoke(b Backend, key string, build Builder, fn func(classify.Classifier) error) error {
+	c, err := b.Acquire(key, build)
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		return err
+	}
+	return b.Release(key, c)
+}

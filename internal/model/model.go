@@ -1,0 +1,137 @@
+// Package model provides durable serialisation and a keyed store for
+// trained models. It is the substrate for two parts of the paper: the
+// Grid-WEKA style distributed tasks of §2 (shipping a previously built
+// classifier to another resource) and the §4.5 performance experiment, in
+// which the naive service deployment "re-built [the object] from its
+// serialised state on disk" on every invocation.
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/classify"
+)
+
+func init() {
+	// Concrete classifier types that can cross a serialisation boundary.
+	gob.Register(&classify.J48{})
+	gob.Register(&classify.NaiveBayes{})
+	gob.Register(&classify.ZeroR{})
+	gob.Register(&classify.OneR{})
+	gob.Register(&classify.IBk{})
+	gob.Register(&classify.Prism{})
+}
+
+// Marshal serialises a trained classifier, interface type included.
+func Marshal(c classify.Classifier) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&c); err != nil {
+		return nil, fmt.Errorf("model: marshal %s: %w", c.Name(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(b []byte) (classify.Classifier, error) {
+	var c classify.Classifier
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("model: unmarshal: %w", err)
+	}
+	return c, nil
+}
+
+// Store is a disk-backed model store keyed by model ID — the "serialised
+// state on disk" of §4.5.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewStore creates (or reuses) a directory-backed store.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(id string) (string, error) {
+	if id == "" || filepath.Base(id) != id {
+		return "", fmt.Errorf("model: invalid model id %q", id)
+	}
+	return filepath.Join(s.dir, id+".model"), nil
+}
+
+// Save serialises the model under id, overwriting any previous state.
+func (s *Store) Save(id string, c classify.Classifier) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	b, err := Marshal(c)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	return nil
+}
+
+// Load rebuilds the model stored under id.
+func (s *Store) Load(id string) (classify.Classifier, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	b, err := os.ReadFile(p)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return Unmarshal(b)
+}
+
+// Delete removes the model stored under id (no error if absent).
+func (s *Store) Delete(id string) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("model: %w", err)
+	}
+	return nil
+}
+
+// List returns the stored model IDs.
+func (s *Store) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".model" {
+			out = append(out, name[:len(name)-len(".model")])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/datagen"
+)
+
+func trainedJ48(t *testing.T) *classify.J48 {
+	t.Helper()
+	j := classify.NewJ48()
+	if err := j.Train(datagen.BreastCancer()); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestMarshalUnmarshalPreservesBehaviour(t *testing.T) {
+	j := trainedJ48(t)
+	b, err := Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, ok := c.(*classify.J48)
+	if !ok {
+		t.Fatalf("unmarshal returned %T", c)
+	}
+	d := datagen.BreastCancer()
+	for _, in := range d.Instances {
+		a, _ := classify.Predict(j, in)
+		b2, _ := classify.Predict(j2, in)
+		if a != b2 {
+			t.Fatal("behaviour changed through serialisation")
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("junk")); err == nil {
+		t.Fatal("garbage deserialised")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := trainedJ48(t)
+	if err := s.Save("model-1", j); err != nil {
+		t.Fatal(err)
+	}
+	nb := &classify.NaiveBayes{}
+	if err := nb.Train(datagen.Weather()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("model-2", nb); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("List = %v", ids)
+	}
+	c, err := s.Load("model-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "J48" {
+		t.Fatalf("loaded %s", c.Name())
+	}
+	if err := s.Delete("model-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("model-1"); err == nil {
+		t.Fatal("deleted model loaded")
+	}
+	if err := s.Delete("model-1"); err != nil {
+		t.Fatalf("double delete errored: %v", err)
+	}
+}
+
+func TestStoreRejectsPathTraversal(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b"} {
+		if err := s.Save(id, trainedJ48(t)); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	j := trainedJ48(t)
+	if err := s.Save("m", j); err != nil {
+		t.Fatal(err)
+	}
+	nb := &classify.NaiveBayes{}
+	if err := nb.Train(datagen.Weather()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("m", nb); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Load("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "NaiveBayes" {
+		t.Fatalf("overwrite failed: %s", c.Name())
+	}
+}

@@ -1,0 +1,184 @@
+// Package registry implements a UDDI-style service registry with publish
+// and inquiry interfaces over HTTP, standing in for the jUDDI registry the
+// paper exposes at agents-comsc.grid.cf.ac.uk:8334/juddi/inquiry (§4.6).
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one published service.
+type Entry struct {
+	Name        string    `json:"name"`
+	Category    string    `json:"category"` // e.g. "classifier", "visualisation"
+	WSDLURL     string    `json:"wsdlUrl"`
+	Endpoint    string    `json:"endpoint"`
+	Description string    `json:"description,omitempty"`
+	Published   time.Time `json:"published"`
+}
+
+// Registry is the in-memory store behind the HTTP interfaces; it is safe
+// for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: map[string]Entry{}}
+}
+
+// Publish adds or replaces a service entry.
+func (r *Registry) Publish(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("registry: entry has no name")
+	}
+	if e.Published.IsZero() {
+		e.Published = time.Now().UTC()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[e.Name] = e
+	return nil
+}
+
+// Remove deletes a service entry by name.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, name)
+}
+
+// Inquire returns entries matching the name substring and/or exact
+// category; empty filters match everything. Results are sorted by name.
+func (r *Registry) Inquire(nameContains, category string) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for _, e := range r.entries {
+		if nameContains != "" && !strings.Contains(strings.ToLower(e.Name), strings.ToLower(nameContains)) {
+			continue
+		}
+		if category != "" && e.Category != category {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the entry with the exact name.
+func (r *Registry) Get(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Handler returns the HTTP interface:
+//
+//	GET  /inquiry?name=...&category=...  -> JSON list of entries
+//	POST /publish  (JSON Entry body)     -> 204
+//	POST /remove?name=...                -> 204
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/inquiry", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := req.URL.Query()
+		out := r.Inquire(q.Get("name"), q.Get("category"))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/publish", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var e Entry
+		if err := json.NewDecoder(req.Body).Decode(&e); err != nil {
+			http.Error(w, "malformed entry: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := r.Publish(e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/remove", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := req.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, "missing name", http.StatusBadRequest)
+			return
+		}
+		r.Remove(name)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// Client talks to a remote registry over its HTTP interface.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Publish posts an entry to the remote registry.
+func (c *Client) Publish(e Entry) error {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/publish", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("registry: publish failed: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Inquire queries the remote registry.
+func (c *Client) Inquire(nameContains, category string) ([]Entry, error) {
+	url := fmt.Sprintf("%s/inquiry?name=%s&category=%s", c.BaseURL, nameContains, category)
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("registry: inquiry failed: %s", resp.Status)
+	}
+	var out []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	return out, nil
+}

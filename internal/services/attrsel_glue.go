@@ -1,0 +1,40 @@
+package services
+
+import (
+	"repro/internal/attrsel"
+	"repro/internal/dataset"
+)
+
+// attrselApproaches lists the toolkit's attribute-selection approaches.
+func attrselApproaches() []string { return attrsel.Approaches() }
+
+// rankWith runs the Ranker search with a named single-attribute evaluator.
+func rankWith(evaluator string, d *dataset.Dataset) (attrsel.Ranking, error) {
+	ev, err := attrsel.NewAttributeEvaluator(evaluator)
+	if err != nil {
+		return attrsel.Ranking{}, err
+	}
+	return attrsel.RankAttributes(ev, d)
+}
+
+// selectWith runs a named search with a named subset evaluator and returns
+// the selected attribute names.
+func selectWith(evaluator, search string, d *dataset.Dataset) ([]string, error) {
+	ev, err := attrsel.NewSubsetEvaluator(evaluator)
+	if err != nil {
+		return nil, err
+	}
+	s, err := attrsel.NewSearch(search)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := s.Search(ev, d)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = d.Attrs[c].Name
+	}
+	return names, nil
+}

@@ -1,0 +1,206 @@
+package services
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/soap"
+	"repro/internal/viz"
+	"repro/internal/wsdl"
+)
+
+// NewClassifierService builds the paper's general Classifier Web Service
+// (§4.1): a wrapper for the complete set of registered classifiers with the
+// three operations the paper describes —
+//
+//	getClassifiers               -> newline-separated algorithm names
+//	getOptions(classifier)       -> JSON option descriptors
+//	classifyInstance(dataset, classifier, options, attribute)
+//	                             -> textual model + evaluation summary
+//
+// plus classifyGraph, the graphical variant returning the model's decision
+// tree in DOT when the algorithm produces one.
+//
+// backend manages trained-instance state across invocations (§4.5); pass a
+// harness.CachedBackend for the paper's in-memory harness or a
+// SerialisingBackend for the naive deployment.
+func NewClassifierService(backend harness.Backend) *Service {
+	ep := soap.NewEndpoint("Classifier")
+	ep.Handle("getClassifiers", func(parts map[string]string) (map[string]string, error) {
+		return map[string]string{"classifiers": strings.Join(classify.Names(), "\n")}, nil
+	})
+	ep.Handle("getOptions", func(parts map[string]string) (map[string]string, error) {
+		name, err := require(parts, "classifier")
+		if err != nil {
+			return nil, err
+		}
+		opts, err := classify.OptionsFor(name)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		js, err := optionsJSON(opts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"options": js}, nil
+	})
+	ep.Handle("classifyInstance", func(parts map[string]string) (map[string]string, error) {
+		c, d, err := trainFromParts(backend, parts)
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]string{}
+		out["model"] = modelText(c)
+		ev, err := classify.NewEvaluation(d)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		if err := ev.TestModel(c, d); err != nil {
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		out["evaluation"] = ev.String()
+		out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
+		return out, nil
+	})
+	ep.Handle("classifyGraph", func(parts map[string]string) (map[string]string, error) {
+		c, _, err := trainFromParts(backend, parts)
+		if err != nil {
+			return nil, err
+		}
+		type treer interface{ Tree() *classify.TreeNode }
+		t, ok := c.(treer)
+		if !ok || t.Tree() == nil {
+			return nil, &soap.Fault{Code: "soap:Client",
+				String: fmt.Sprintf("classifier %s does not produce a decision tree", c.Name())}
+		}
+		return map[string]string{"graph": viz.TreeDOT(t.Tree())}, nil
+	})
+	return &Service{
+		Name:     "Classifier",
+		Category: "classifier",
+		Endpoint: ep,
+		Desc: &wsdl.Description{
+			Service: "Classifier",
+			Ops: []wsdl.Operation{
+				{
+					Name:    "getClassifiers",
+					Doc:     "List the classification algorithms known to the service.",
+					Outputs: []wsdl.Part{{Name: "classifiers"}},
+				},
+				{
+					Name:    "getOptions",
+					Doc:     "Describe the run-time options of a classifier.",
+					Inputs:  []wsdl.Part{{Name: "classifier"}},
+					Outputs: []wsdl.Part{{Name: "options"}},
+				},
+				{
+					Name: "classifyInstance",
+					Doc:  "Train the named classifier on an ARFF dataset and return the model and its evaluation.",
+					Inputs: []wsdl.Part{
+						{Name: "dataset"}, {Name: "classifier"},
+						{Name: "options"}, {Name: "attribute"},
+					},
+					Outputs: []wsdl.Part{{Name: "model"}, {Name: "evaluation"}, {Name: "accuracy"}},
+				},
+				{
+					Name: "classifyGraph",
+					Doc:  "Like classifyInstance but returns the decision tree as a DOT graph.",
+					Inputs: []wsdl.Part{
+						{Name: "dataset"}, {Name: "classifier"},
+						{Name: "options"}, {Name: "attribute"},
+					},
+					Outputs: []wsdl.Part{{Name: "graph"}},
+				},
+			},
+		},
+	}
+}
+
+// trainFromParts resolves the four classifyInstance inputs (dataset,
+// classifier name, options, class attribute) and returns a trained
+// instance, going through the backend so instance state follows the
+// deployment's §4.5 strategy.
+func trainFromParts(backend harness.Backend, parts map[string]string) (classify.Classifier, *dataset.Dataset, error) {
+	d, err := parseDataset(parts, "dataset")
+	if err != nil {
+		return nil, nil, err
+	}
+	name, err := require(parts, "classifier")
+	if err != nil {
+		return nil, nil, err
+	}
+	opts, err := parseOptions(parts, "options")
+	if err != nil {
+		return nil, nil, err
+	}
+	if attr := strings.TrimSpace(parts["attribute"]); attr != "" {
+		if err := d.SetClassByName(attr); err != nil {
+			return nil, nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+	}
+	key := InstanceKey(name, opts, parts["dataset"], parts["attribute"])
+	build := TrainBuilder(name, opts, d)
+	var trained classify.Classifier
+	err = harness.Invoke(backend, key, build, func(c classify.Classifier) error {
+		trained = c
+		return nil
+	})
+	if err != nil {
+		if f, ok := err.(*soap.Fault); ok {
+			return nil, nil, f
+		}
+		return nil, nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+	}
+	return trained, d, nil
+}
+
+// TrainBuilder returns a harness.Builder that constructs, configures and
+// trains the named classifier on d. It is exported so the benchmark harness
+// can replay the exact per-invocation work of the service layer.
+func TrainBuilder(name string, opts map[string]string, d *dataset.Dataset) harness.Builder {
+	return func() (classify.Classifier, error) {
+		c, err := classify.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := classify.Configure(c, opts); err != nil {
+			return nil, err
+		}
+		if err := c.Train(d); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+}
+
+// InstanceKey derives the harness key identifying a trained instance: the
+// algorithm, its options, the dataset text and the class attribute.
+func InstanceKey(name string, opts map[string]string, arffText, attribute string) string {
+	h := sha256.New()
+	fmt.Fprintln(h, name)
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, opts[k])
+	}
+	fmt.Fprintln(h, attribute)
+	_, _ = h.Write([]byte(arffText))
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// modelText renders a trained model for the textual reply.
+func modelText(c classify.Classifier) string {
+	if s, ok := c.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return c.Name() + " model (no textual representation)"
+}

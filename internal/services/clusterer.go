@@ -1,0 +1,185 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/soap"
+	"repro/internal/viz"
+	"repro/internal/wsdl"
+)
+
+// NewClustererService builds the general Clustering Web Service (§4.1 names
+// clustering as the second service family):
+//
+//	getClusterers                      -> algorithm names
+//	getOptions(clusterer)              -> JSON option descriptors
+//	cluster(dataset, clusterer, options) -> textual clustering summary
+func NewClustererService() *Service {
+	ep := soap.NewEndpoint("Clusterer")
+	ep.Handle("getClusterers", func(parts map[string]string) (map[string]string, error) {
+		return map[string]string{"clusterers": strings.Join(cluster.Names(), "\n")}, nil
+	})
+	ep.Handle("getOptions", func(parts map[string]string) (map[string]string, error) {
+		name, err := require(parts, "clusterer")
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.New(name)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		var opts []cluster.Option
+		if p, ok := c.(cluster.Parameterized); ok {
+			opts = p.Options()
+		}
+		js, err := optionsJSON(opts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"options": js}, nil
+	})
+	ep.Handle("cluster", func(parts map[string]string) (map[string]string, error) {
+		d, err := parseDataset(parts, "dataset")
+		if err != nil {
+			return nil, err
+		}
+		name, err := require(parts, "clusterer")
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.New(name)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		opts, err := parseOptions(parts, "options")
+		if err != nil {
+			return nil, err
+		}
+		if len(opts) > 0 {
+			p, ok := c.(cluster.Parameterized)
+			if !ok {
+				return nil, &soap.Fault{Code: "soap:Client",
+					String: fmt.Sprintf("clusterer %s accepts no options", name)}
+			}
+			for k, v := range opts {
+				if err := p.SetOption(k, v); err != nil {
+					return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+				}
+			}
+		}
+		if err := c.Build(d); err != nil {
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		assign, err := cluster.Assignments(c, d)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: %d clusters over %d instances\n\n", name, c.NumClusters(), d.NumInstances())
+		b.WriteString(viz.ClusterSummary(assign, maxAssign(assign)+1))
+		out := map[string]string{
+			"summary":  b.String(),
+			"clusters": fmt.Sprintf("%d", c.NumClusters()),
+		}
+		// Internal quality measure when the data is numeric and clustered
+		// into at least two groups.
+		if sil, err := cluster.Silhouette(d, assign, c.NumClusters()); err == nil {
+			out["silhouette"] = fmt.Sprintf("%.4f", sil)
+		}
+		return out, nil
+	})
+	return &Service{
+		Name:     "Clusterer",
+		Category: "clustering",
+		Endpoint: ep,
+		Desc: &wsdl.Description{
+			Service: "Clusterer",
+			Ops: []wsdl.Operation{
+				{Name: "getClusterers", Doc: "List the clustering algorithms known to the service.",
+					Outputs: []wsdl.Part{{Name: "clusterers"}}},
+				{Name: "getOptions", Doc: "Describe the run-time options of a clusterer.",
+					Inputs: []wsdl.Part{{Name: "clusterer"}}, Outputs: []wsdl.Part{{Name: "options"}}},
+				{Name: "cluster", Doc: "Apply the named clustering algorithm to an ARFF dataset.",
+					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "clusterer"}, {Name: "options"}},
+					Outputs: []wsdl.Part{{Name: "summary"}, {Name: "clusters"}, {Name: "silhouette"}}},
+			},
+		},
+	}
+}
+
+func maxAssign(assign []int) int {
+	m := 0
+	for _, a := range assign {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NewCobwebService builds the dedicated Cobweb Web Service of §4.1:
+//
+//	cluster(dataset, options)        -> textual clustering result
+//	getCobwebGraph(dataset, options) -> the concept hierarchy (indented text
+//	                                    plus DOT) for the tree plotter
+func NewCobwebService() *Service {
+	ep := soap.NewEndpoint("Cobweb")
+	build := func(parts map[string]string) (*cluster.Cobweb, error) {
+		d, err := parseDataset(parts, "dataset")
+		if err != nil {
+			return nil, err
+		}
+		cw := &cluster.Cobweb{Acuity: 1.0, Cutoff: 0.0028}
+		opts, err := parseOptions(parts, "options")
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range opts {
+			if err := cw.SetOption(k, v); err != nil {
+				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+			}
+		}
+		if err := cw.Build(d); err != nil {
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		return cw, nil
+	}
+	ep.Handle("cluster", func(parts map[string]string) (map[string]string, error) {
+		cw, err := build(parts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{
+			"summary":  fmt.Sprintf("Cobweb: %d leaf concepts\n\n%s", cw.NumClusters(), cw.GraphString()),
+			"clusters": fmt.Sprintf("%d", cw.NumClusters()),
+		}, nil
+	})
+	ep.Handle("getCobwebGraph", func(parts map[string]string) (map[string]string, error) {
+		cw, err := build(parts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{
+			"graph": viz.CobwebDOT(cw.Root()),
+			"text":  cw.GraphString(),
+		}, nil
+	})
+	return &Service{
+		Name:     "Cobweb",
+		Category: "clustering",
+		Endpoint: ep,
+		Desc: &wsdl.Description{
+			Service: "Cobweb",
+			Ops: []wsdl.Operation{
+				{Name: "cluster", Doc: "Apply the Cobweb algorithm to an ARFF dataset; returns a textual result.",
+					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}},
+					Outputs: []wsdl.Part{{Name: "summary"}, {Name: "clusters"}}},
+				{Name: "getCobwebGraph", Doc: "Return the Cobweb concept hierarchy for plotting.",
+					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}},
+					Outputs: []wsdl.Part{{Name: "graph"}, {Name: "text"}}},
+			},
+		},
+	}
+}

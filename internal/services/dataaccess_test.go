@@ -1,0 +1,90 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataaccess"
+	"repro/internal/datagen"
+	"repro/internal/harness"
+	"repro/internal/soap"
+)
+
+func dataAccessService(t *testing.T) string {
+	t.Helper()
+	db := dataaccess.NewDatabase()
+	if err := db.CreateTable("breast_cancer", datagen.BreastCancer()); err != nil {
+		t.Fatal(err)
+	}
+	return hostServices(t, NewDataAccessService(db), NewClassifierService(harness.NewCachedBackend(4)))
+}
+
+func TestDataAccessServiceOperations(t *testing.T) {
+	base := dataAccessService(t)
+	url := base + "/services/DataAccess"
+	out, err := soap.Call(url, "listTables", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["tables"] != "breast_cancer" {
+		t.Fatalf("tables = %q", out["tables"])
+	}
+	out, err = soap.Call(url, "describe", map[string]string{"table": "breast_cancer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["schema"], "@attribute node-caps {yes,no}") {
+		t.Fatalf("schema:\n%s", out["schema"])
+	}
+	out, err = soap.Call(url, "query", map[string]string{
+		"table": "breast_cancer",
+		"where": "node-caps=yes",
+		"limit": "20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["rows"] != "20" {
+		t.Fatalf("rows = %q", out["rows"])
+	}
+	if !strings.Contains(out["arff"], "@relation breast_cancer") {
+		t.Fatalf("arff:\n%s", out["arff"])
+	}
+	// Faults.
+	for _, parts := range []map[string]string{
+		{},
+		{"table": "ghost"},
+		{"table": "breast_cancer", "where": "nonsense"},
+		{"table": "breast_cancer", "limit": "-1"},
+		{"table": "breast_cancer", "columns": "nope"},
+	} {
+		if _, err := soap.Call(url, "query", parts); err == nil {
+			t.Errorf("query %v accepted", parts)
+		}
+	}
+}
+
+// TestDataAccessFeedsClassifier chains the future-work integration end to
+// end: query the relational resource, feed the ARFF result straight into
+// the general Classifier service.
+func TestDataAccessFeedsClassifier(t *testing.T) {
+	base := dataAccessService(t)
+	out, err := soap.Call(base+"/services/DataAccess", "query", map[string]string{
+		"table":   "breast_cancer",
+		"columns": "node-caps,deg-malig,irradiat,Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := soap.Call(base+"/services/Classifier", "classifyInstance", map[string]string{
+		"dataset":    out["arff"],
+		"classifier": "J48",
+		"attribute":  "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res["model"], "node-caps") {
+		t.Fatalf("model:\n%s", res["model"])
+	}
+}

@@ -1,0 +1,95 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/datagen"
+	"repro/internal/soap"
+)
+
+func TestFilterService(t *testing.T) {
+	base := hostServices(t, NewFilterService())
+	url := base + "/services/Filter"
+	out, err := soap.Call(url, "getFilters", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["filters"], "Discretize") {
+		t.Fatalf("filters = %q", out["filters"])
+	}
+	weather := arff.Format(datagen.WeatherNumeric())
+
+	// Discretize.
+	out, err = soap.Call(url, "apply", map[string]string{
+		"dataset": weather, "filter": "Discretize", "bins": "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arff.ParseString(out["arff"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Attrs[1].IsNominal() || res.Attrs[1].NumValues() != 3 {
+		t.Fatalf("temperature after discretise: %s", res.Attrs[1].SpecString())
+	}
+
+	// Normalize leaves the schema numeric.
+	out, err = soap.Call(url, "apply", map[string]string{
+		"dataset": weather, "filter": "Normalize",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = arff.ParseString(out["arff"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Attrs[1].IsNumeric() {
+		t.Fatal("normalize changed the schema")
+	}
+
+	// Keep projects columns.
+	out, err = soap.Call(url, "apply", map[string]string{
+		"dataset": weather, "filter": "Keep", "attributes": "outlook,play",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = arff.ParseString(out["arff"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumAttributes() != 2 {
+		t.Fatalf("kept %d attributes", res.NumAttributes())
+	}
+
+	// ReplaceMissingValues clears the breast-cancer gaps.
+	out, err = soap.Call(url, "apply", map[string]string{
+		"dataset": arff.Format(datagen.BreastCancer()), "filter": "ReplaceMissingValues",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out["arff"], "?") {
+		// The schema line "@attribute ..." never contains '?', so any '?' is
+		// a missing cell.
+		t.Fatal("missing values survived ReplaceMissingValues")
+	}
+
+	// Faults.
+	for _, parts := range []map[string]string{
+		{"dataset": weather},
+		{"dataset": weather, "filter": "Quantum"},
+		{"dataset": weather, "filter": "Discretize", "bins": "1"},
+		{"dataset": weather, "filter": "Discretize", "equalFrequency": "perhaps"},
+		{"dataset": weather, "filter": "Remove"},
+		{"dataset": weather, "filter": "Remove", "attributes": "play"}, // class removal
+	} {
+		if _, err := soap.Call(url, "apply", parts); err == nil {
+			t.Errorf("apply %v accepted", parts)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package services
+
+import (
+	"repro/internal/classify"
+	"repro/internal/harness"
+	"repro/internal/soap"
+	"repro/internal/viz"
+	"repro/internal/wsdl"
+)
+
+// NewJ48Service builds the dedicated J48 Web Service of §4.1, "a decision
+// tree classifier based on the C4.5 algorithm" with the two key options the
+// paper describes:
+//
+//	classify(dataset, options, attribute)      -> textual decision tree
+//	classifyGraph(dataset, options, attribute) -> DOT decision tree
+func NewJ48Service(backend harness.Backend) *Service {
+	ep := soap.NewEndpoint("J48")
+	train := func(parts map[string]string) (*classify.J48, error) {
+		parts2 := map[string]string{
+			"dataset":    parts["dataset"],
+			"classifier": "J48",
+			"options":    parts["options"],
+			"attribute":  parts["attribute"],
+		}
+		c, _, err := trainFromParts(backend, parts2)
+		if err != nil {
+			return nil, err
+		}
+		j, ok := c.(*classify.J48)
+		if !ok {
+			return nil, &soap.Fault{Code: "soap:Server", String: "backend returned a non-J48 instance"}
+		}
+		return j, nil
+	}
+	ep.Handle("classify", func(parts map[string]string) (map[string]string, error) {
+		j, err := train(parts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"tree": j.String()}, nil
+	})
+	ep.Handle("classifyGraph", func(parts map[string]string) (map[string]string, error) {
+		j, err := train(parts)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"graph": viz.TreeDOT(j.Tree())}, nil
+	})
+	return &Service{
+		Name:     "J48",
+		Category: "classifier",
+		Endpoint: ep,
+		Desc: &wsdl.Description{
+			Service: "J48",
+			Ops: []wsdl.Operation{
+				{
+					Name:    "classify",
+					Doc:     "Apply the C4.5 (J48) algorithm to an ARFF dataset; returns the textual decision tree.",
+					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}, {Name: "attribute"}},
+					Outputs: []wsdl.Part{{Name: "tree"}},
+				},
+				{
+					Name:    "classifyGraph",
+					Doc:     "Like classify but returns a graphical (DOT) representation of the decision tree.",
+					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}, {Name: "attribute"}},
+					Outputs: []wsdl.Part{{Name: "graph"}},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,121 @@
+// Package services implements the paper's data-mining Web Services (§4):
+// the general Classifier service (getClassifiers / getOptions /
+// classifyInstance), the dedicated J48 service (classify / classifyGraph),
+// the Clusterer and Cobweb services (cluster / getCobwebGraph), association
+// rules, attribute selection (including the genetic search of §5.3), the
+// data-manipulation services (CSV↔ARFF conversion, URL reading, dataset
+// summaries), and the plotting services standing in for GNUPlot and the
+// Mathematica plot3D service (§4.2).
+//
+// Each constructor returns a Service: a SOAP endpoint plus its WSDL
+// description, ready to be hosted by Host and imported into the workflow
+// toolbox from its WSDL.
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/arff"
+	"repro/internal/dataset"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+)
+
+// Service bundles a deployable Web Service.
+type Service struct {
+	Name     string
+	Category string
+	Desc     *wsdl.Description
+	Endpoint *soap.Endpoint
+}
+
+// Host mounts services on a mux under /services/<name>, serving SOAP on
+// POST and the WSDL document on GET (the "?wsdl" convention). It returns
+// the path of each service.
+func Host(mux *http.ServeMux, baseURL string, svcs ...*Service) map[string]string {
+	paths := map[string]string{}
+	for _, s := range svcs {
+		svc := s
+		path := "/services/" + svc.Name
+		svc.Desc.Endpoint = baseURL + path
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodGet {
+				doc, err := wsdl.Generate(svc.Desc)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+				_, _ = w.Write(doc)
+				return
+			}
+			svc.Endpoint.ServeHTTP(w, r)
+		})
+		paths[svc.Name] = path
+	}
+	return paths
+}
+
+// parseDataset decodes the mandatory ARFF dataset part of a request.
+func parseDataset(parts map[string]string, part string) (*dataset.Dataset, error) {
+	text, ok := parts[part]
+	if !ok || strings.TrimSpace(text) == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: fmt.Sprintf("missing %s part (ARFF document expected)", part)}
+	}
+	d, err := arff.ParseString(text)
+	if err != nil {
+		return nil, &soap.Fault{Code: "soap:Client", String: "malformed ARFF dataset", Detail: err.Error()}
+	}
+	return d, nil
+}
+
+// parseOptions decodes the options part: either JSON object of name->value
+// or "name=value,name=value" shorthand. An empty part is an empty map.
+func parseOptions(parts map[string]string, part string) (map[string]string, error) {
+	raw := strings.TrimSpace(parts[part])
+	if raw == "" {
+		return map[string]string{}, nil
+	}
+	if strings.HasPrefix(raw, "{") {
+		var m map[string]string
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: "malformed options JSON", Detail: err.Error()}
+		}
+		return m, nil
+	}
+	m := map[string]string{}
+	for _, pair := range strings.Split(raw, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return nil, &soap.Fault{Code: "soap:Client",
+				String: fmt.Sprintf("malformed option %q (want name=value)", pair)}
+		}
+		m[strings.TrimSpace(pair[:eq])] = strings.TrimSpace(pair[eq+1:])
+	}
+	return m, nil
+}
+
+// require fetches a mandatory part.
+func require(parts map[string]string, name string) (string, error) {
+	v, ok := parts[name]
+	if !ok || strings.TrimSpace(v) == "" {
+		return "", &soap.Fault{Code: "soap:Client", String: "missing " + name + " part"}
+	}
+	return v, nil
+}
+
+// optionsJSON renders option descriptors as the JSON getOptions reply.
+func optionsJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("services: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,505 @@
+package services
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/arff"
+	"repro/internal/datagen"
+	"repro/internal/harness"
+	"repro/internal/soap"
+)
+
+// hostServices mounts the given services on a test server and returns the
+// base URL.
+func hostServices(t *testing.T, svcs ...*Service) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	Host(mux, srv.URL, svcs...)
+	return srv.URL
+}
+
+func breastARFF() string { return arff.Format(datagen.BreastCancer()) }
+
+// TestClassifierServiceProtocol is experiment E6: the full §4.1 protocol of
+// the general Classifier Web Service — getClassifiers, getOptions, then
+// classifyInstance with its four inputs.
+func TestClassifierServiceProtocol(t *testing.T) {
+	base := hostServices(t, NewClassifierService(harness.NewCachedBackend(8)))
+	url := base + "/services/Classifier"
+
+	// Step 1: getClassifiers.
+	out, err := soap.Call(url, "getClassifiers", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := strings.Split(strings.TrimSpace(out["classifiers"]), "\n")
+	if len(list) < 10 {
+		t.Fatalf("only %d classifiers offered: %v", len(list), list)
+	}
+	hasJ48 := false
+	for _, n := range list {
+		if n == "J48" {
+			hasJ48 = true
+		}
+	}
+	if !hasJ48 {
+		t.Fatalf("J48 not offered: %v", list)
+	}
+
+	// Step 2: getOptions for the selected classifier.
+	out, err = soap.Call(url, "getOptions", map[string]string{"classifier": "J48"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []map[string]any
+	if err := json.Unmarshal([]byte(out["options"]), &opts); err != nil {
+		t.Fatalf("options not JSON: %v\n%s", err, out["options"])
+	}
+	names := map[string]bool{}
+	for _, o := range opts {
+		names[o["name"].(string)] = true
+	}
+	if !names["confidenceFactor"] || !names["minLeaf"] {
+		t.Fatalf("J48 options = %v", names)
+	}
+
+	// Step 3: classifyInstance with dataset, classifier, options, attribute.
+	out, err = soap.Call(url, "classifyInstance", map[string]string{
+		"dataset":    breastARFF(),
+		"classifier": "J48",
+		"options":    `{"confidenceFactor":"0.25"}`,
+		"attribute":  "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["model"], "node-caps") {
+		t.Fatalf("model output lacks the Figure-4 root:\n%s", out["model"])
+	}
+	if !strings.Contains(out["evaluation"], "Correctly Classified") {
+		t.Fatalf("evaluation missing:\n%s", out["evaluation"])
+	}
+	acc, err := strconv.ParseFloat(out["accuracy"], 64)
+	if err != nil || acc < 0.7 || acc > 1 {
+		t.Fatalf("accuracy = %q", out["accuracy"])
+	}
+
+	// classifyGraph returns DOT.
+	out, err = soap.Call(url, "classifyGraph", map[string]string{
+		"dataset":    breastARFF(),
+		"classifier": "J48",
+		"attribute":  "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["graph"], "digraph") {
+		t.Fatalf("graph output:\n%s", out["graph"])
+	}
+}
+
+func TestClassifierServiceFaults(t *testing.T) {
+	base := hostServices(t, NewClassifierService(harness.NewCachedBackend(8)))
+	url := base + "/services/Classifier"
+	cases := []map[string]string{
+		{"classifier": "J48"},                              // missing dataset
+		{"dataset": breastARFF()},                          // missing classifier
+		{"dataset": "not arff", "classifier": "J48"},       // malformed dataset
+		{"dataset": breastARFF(), "classifier": "Quantum"}, // unknown classifier
+		{"dataset": breastARFF(), "classifier": "J48", "options": "{bad json"},
+		{"dataset": breastARFF(), "classifier": "J48", "attribute": "nope"},
+		{"dataset": breastARFF(), "classifier": "J48", "options": `{"confidenceFactor":"9"}`},
+	}
+	for i, parts := range cases {
+		if _, err := soap.Call(url, "classifyInstance", parts); err == nil {
+			t.Errorf("case %d: no fault for %v", i, parts)
+		}
+	}
+	// getOptions faults.
+	if _, err := soap.Call(url, "getOptions", nil); err == nil {
+		t.Error("getOptions without classifier accepted")
+	}
+	// classifyGraph on a non-tree algorithm faults.
+	if _, err := soap.Call(url, "classifyGraph", map[string]string{
+		"dataset": breastARFF(), "classifier": "NaiveBayes", "attribute": "Class",
+	}); err == nil {
+		t.Error("classifyGraph on NaiveBayes accepted")
+	}
+}
+
+func TestJ48ServiceOperations(t *testing.T) {
+	base := hostServices(t, NewJ48Service(harness.NewCachedBackend(8)))
+	url := base + "/services/J48"
+	out, err := soap.Call(url, "classify", map[string]string{
+		"dataset": breastARFF(), "attribute": "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["tree"], "node-caps = yes") {
+		t.Fatalf("tree:\n%s", out["tree"])
+	}
+	out, err = soap.Call(url, "classifyGraph", map[string]string{
+		"dataset": breastARFF(), "attribute": "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["graph"], "digraph J48") {
+		t.Fatalf("graph:\n%s", out["graph"])
+	}
+}
+
+func TestClustererService(t *testing.T) {
+	base := hostServices(t, NewClustererService())
+	url := base + "/services/Clusterer"
+	out, err := soap.Call(url, "getClusterers", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["clusterers"], "SimpleKMeans") || !strings.Contains(out["clusterers"], "Cobweb") {
+		t.Fatalf("clusterers = %q", out["clusterers"])
+	}
+	out, err = soap.Call(url, "getOptions", map[string]string{"clusterer": "SimpleKMeans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["options"], "maxIterations") {
+		t.Fatalf("options = %q", out["options"])
+	}
+	gauss := arff.Format(datagen.GaussianClusters(3, 150, 2, 10, 5))
+	out, err = soap.Call(url, "cluster", map[string]string{
+		"dataset": gauss, "clusterer": "SimpleKMeans", "options": "k=3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["clusters"] != "3" {
+		t.Fatalf("clusters = %q\n%s", out["clusters"], out["summary"])
+	}
+	// Faults.
+	if _, err := soap.Call(url, "cluster", map[string]string{"dataset": gauss, "clusterer": "Nope"}); err == nil {
+		t.Error("unknown clusterer accepted")
+	}
+	if _, err := soap.Call(url, "cluster", map[string]string{
+		"dataset": gauss, "clusterer": "SimpleKMeans", "options": "k=zero"}); err == nil {
+		t.Error("bad option accepted")
+	}
+}
+
+// TestCobwebService is experiment E7: the dedicated Cobweb service with its
+// cluster and getCobwebGraph operations.
+func TestCobwebService(t *testing.T) {
+	base := hostServices(t, NewCobwebService())
+	url := base + "/services/Cobweb"
+	weather := arff.Format(datagen.Weather())
+	out, err := soap.Call(url, "cluster", map[string]string{"dataset": weather})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["summary"], "leaf concepts") {
+		t.Fatalf("summary:\n%s", out["summary"])
+	}
+	out, err = soap.Call(url, "getCobwebGraph", map[string]string{"dataset": weather})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["graph"], "digraph Cobweb") {
+		t.Fatalf("graph:\n%s", out["graph"])
+	}
+	if !strings.Contains(out["text"], "node 0") {
+		t.Fatalf("text:\n%s", out["text"])
+	}
+}
+
+func TestAssociationService(t *testing.T) {
+	base := hostServices(t, NewAssociationService())
+	url := base + "/services/AssociationRules"
+	// Via ARFF dataset.
+	out, err := soap.Call(url, "mine", map[string]string{
+		"dataset":       arff.Format(datagen.Weather()),
+		"minSupport":    "0.2",
+		"minConfidence": "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["ruleCount"] == "0" {
+		t.Fatal("no rules from weather data")
+	}
+	// Via raw transactions with a rule cap.
+	var lines []string
+	for _, tr := range datagen.Baskets(300, 10, 2, 0.95, 7) {
+		lines = append(lines, strings.Join(tr, ","))
+	}
+	out, err = soap.Call(url, "mine", map[string]string{
+		"transactions":  strings.Join(lines, "\n"),
+		"minSupport":    "0.05",
+		"minConfidence": "0.7",
+		"maxRules":      "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out["rules"], "\n") + 1; got > 5 {
+		t.Fatalf("maxRules ignored: %d rules returned", got)
+	}
+	// FPGrowth produces the same rule count as Apriori on the same input.
+	apOut, err := soap.Call(url, "mine", map[string]string{
+		"dataset": arff.Format(datagen.Weather()), "minSupport": "0.2", "minConfidence": "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpOut, err := soap.Call(url, "mine", map[string]string{
+		"dataset": arff.Format(datagen.Weather()), "minSupport": "0.2", "minConfidence": "0.9",
+		"algorithm": "FPGrowth",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apOut["ruleCount"] != fpOut["ruleCount"] {
+		t.Fatalf("Apriori found %s rules, FPGrowth %s", apOut["ruleCount"], fpOut["ruleCount"])
+	}
+	// Faults.
+	for _, parts := range []map[string]string{
+		{},
+		{"dataset": arff.Format(datagen.Weather()), "minSupport": "2"},
+		{"dataset": arff.Format(datagen.Weather()), "minConfidence": "-1"},
+		{"dataset": arff.Format(datagen.Weather()), "maxRules": "-2"},
+		{"dataset": arff.Format(datagen.Weather()), "algorithm": "Eclat"},
+	} {
+		if _, err := soap.Call(url, "mine", parts); err == nil {
+			t.Errorf("no fault for %v", parts)
+		}
+	}
+}
+
+// TestAttributeSelectionService covers experiment E9's service surface: the
+// genetic search approach of §5.3 exposed over SOAP.
+func TestAttributeSelectionService(t *testing.T) {
+	base := hostServices(t, NewAttributeSelectionService())
+	url := base + "/services/AttributeSelection"
+	out, err := soap.Call(url, "getApproaches", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approaches := strings.Split(strings.TrimSpace(out["approaches"]), "\n")
+	if len(approaches) < 20 {
+		t.Fatalf("only %d approaches", len(approaches))
+	}
+	out, err = soap.Call(url, "rank", map[string]string{
+		"dataset": breastARFF(), "evaluator": "InfoGain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(strings.TrimSpace(out["ranking"]), "\n", 2)[0]
+	if !strings.HasPrefix(first, "node-caps") && !strings.HasPrefix(first, "deg-malig") {
+		t.Fatalf("top-ranked = %q", first)
+	}
+	out, err = soap.Call(url, "select", map[string]string{
+		"dataset": breastARFF(), "evaluator": "CfsSubset", "search": "GeneticSearch",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["selected"], "node-caps") {
+		t.Fatalf("genetic selection = %q", out["selected"])
+	}
+	if _, err := soap.Call(url, "select", map[string]string{
+		"dataset": breastARFF(), "evaluator": "Nope", "search": "GeneticSearch"}); err == nil {
+		t.Error("unknown evaluator accepted")
+	}
+}
+
+func TestDataConvertService(t *testing.T) {
+	base := hostServices(t, NewDataConvertService(nil))
+	url := base + "/services/DataConvert"
+	csvText := "x,y,label\n1,2,a\n3,4,b\n"
+	out, err := soap.Call(url, "csv2arff", map[string]string{"csv": csvText, "relation": "pts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["arff"], "@relation pts") {
+		t.Fatalf("arff:\n%s", out["arff"])
+	}
+	out2, err := soap.Call(url, "arff2csv", map[string]string{"dataset": out["arff"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2["csv"], "x,y,label") {
+		t.Fatalf("csv:\n%s", out2["csv"])
+	}
+	// summarize produces the Figure-3 block.
+	out3, err := soap.Call(url, "summarize", map[string]string{"dataset": breastARFF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3["instances"] != "286" || out3["missing"] != "9" {
+		t.Fatalf("summary: instances=%q missing=%q", out3["instances"], out3["missing"])
+	}
+	if !strings.Contains(out3["summary"], "Num Instances 286") {
+		t.Fatalf("summary text:\n%s", out3["summary"])
+	}
+}
+
+// TestDataConvertReadURL exercises the case study's first Web Service: "a
+// Web Service to read the data file from a URL and convert this into a
+// format suitable for analysis".
+func TestDataConvertReadURL(t *testing.T) {
+	// A second server standing in for the UCI repository.
+	uci := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/breast-cancer.arff":
+			_, _ = w.Write([]byte(breastARFF()))
+		case "/data.csv":
+			_, _ = w.Write([]byte("a,b\n1,x\n2,y\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer uci.Close()
+	base := hostServices(t, NewDataConvertService(uci.Client()))
+	url := base + "/services/DataConvert"
+	out, err := soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/breast-cancer.arff"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["arff"], "@relation breast-cancer") {
+		t.Fatal("fetched ARFF not normalised")
+	}
+	out, err = soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/data.csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["arff"], "@attribute a numeric") {
+		t.Fatalf("fetched CSV not converted:\n%s", out["arff"])
+	}
+	if _, err := soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/missing"}); err == nil {
+		t.Error("404 fetch accepted")
+	}
+}
+
+func TestPlotService(t *testing.T) {
+	base := hostServices(t, NewPlotService())
+	url := base + "/services/Plot"
+	points := "0,0\n1,1\n2,4\n3,9\n"
+	out, err := soap.Call(url, "plot", map[string]string{"points": points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["plot"], "*") {
+		t.Fatalf("ascii plot:\n%s", out["plot"])
+	}
+	out, err = soap.Call(url, "plotPNG", map[string]string{"points": points, "kind": "line"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(out["image"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("not a PNG: %v", err)
+	}
+	if _, err := soap.Call(url, "plot", map[string]string{"points": "nonsense"}); err == nil {
+		t.Error("malformed points accepted")
+	}
+}
+
+// TestPlot3DService is experiment E8: the Mathematica-substitute plot3D
+// operation — CSV points in three dimensions in, PNG image out (§4.2).
+func TestPlot3DService(t *testing.T) {
+	base := hostServices(t, NewMathService())
+	url := base + "/services/Math"
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		x, y := float64(i%20), float64(i/20)
+		b.WriteString(strconv.FormatFloat(x, 'f', 2, 64) + "," +
+			strconv.FormatFloat(y, 'f', 2, 64) + "," +
+			strconv.FormatFloat(x*y, 'f', 2, 64) + "\n")
+	}
+	out, err := soap.Call(url, "plot3D", map[string]string{"points": b.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(out["image"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("plot3D did not return a PNG: %v", err)
+	}
+	if img.Bounds().Dx() != 640 || img.Bounds().Dy() != 480 {
+		t.Fatalf("image %v", img.Bounds())
+	}
+	for _, bad := range []string{"", "1,2\n", "a,b,c\n"} {
+		if _, err := soap.Call(url, "plot3D", map[string]string{"points": bad}); err == nil {
+			t.Errorf("accepted points %q", bad)
+		}
+	}
+}
+
+func TestTreeAnalyzerService(t *testing.T) {
+	// Drive it with a real J48 textual tree, as the case study does.
+	backend := harness.NewCachedBackend(4)
+	base := hostServices(t, NewJ48Service(backend), NewTreeAnalyzerService())
+	out, err := soap.Call(base+"/services/J48", "classify", map[string]string{
+		"dataset": breastARFF(), "attribute": "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := soap.Call(base+"/services/TreeAnalyzer", "analyze", map[string]string{
+		"tree": out["tree"],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2["root"] != "node-caps" {
+		t.Fatalf("analyzer root = %q", out2["root"])
+	}
+	leaves, _ := strconv.Atoi(out2["leaves"])
+	if leaves < 2 {
+		t.Fatalf("leaves = %q", out2["leaves"])
+	}
+	if !strings.Contains(out2["attributes"], "deg-malig") {
+		t.Fatalf("attributes = %q", out2["attributes"])
+	}
+	if !strings.Contains(out2["rules"], "IF node-caps = yes") {
+		t.Fatalf("rules:\n%s", out2["rules"])
+	}
+	if _, err := soap.Call(base+"/services/TreeAnalyzer", "analyze",
+		map[string]string{"tree": "   "}); err == nil {
+		t.Error("blank tree accepted")
+	}
+}
+
+func TestHostServesWSDLOnGET(t *testing.T) {
+	base := hostServices(t, NewPlotService())
+	resp, err := http.Get(base + "/services/Plot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<definitions") ||
+		!strings.Contains(buf.String(), "plotPNG") {
+		t.Fatalf("WSDL:\n%s", buf.String())
+	}
+}

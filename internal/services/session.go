@@ -1,0 +1,215 @@
+package services
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/harness"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+)
+
+// NewSessionService implements the "session management" capability the
+// paper's conclusion lists among its supporting services, motivated by
+// §4.5: "most data mining services only require a single invocation ...
+// [but] if an interactive session was expected this performance penalty was
+// a severe limitation". A session trains a model once and keeps the
+// instance live in the harness across any number of cheap follow-up
+// invocations:
+//
+//	createSession(dataset, classifier, options, attribute) -> session id
+//	classify(session, instances)                           -> labels
+//	evaluate(session, dataset)                             -> evaluation + accuracy
+//	getModel(session)                                      -> textual model
+//	closeSession(session)
+func NewSessionService(backend harness.Backend) *Service {
+	type sessionInfo struct {
+		key       string
+		name      string
+		opts      map[string]string
+		arff      string
+		attribute string
+	}
+	var (
+		mu       sync.Mutex
+		sessions = map[string]*sessionInfo{}
+		nextID   int
+	)
+	lookup := func(parts map[string]string) (*sessionInfo, error) {
+		id, err := require(parts, "session")
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		s, ok := sessions[strings.TrimSpace(id)]
+		mu.Unlock()
+		if !ok {
+			return nil, &soap.Fault{Code: "soap:Client", String: fmt.Sprintf("unknown session %q", id)}
+		}
+		return s, nil
+	}
+	// withModel acquires the session's live instance (rebuilding via the
+	// harness if it was evicted) and applies fn.
+	withModel := func(s *sessionInfo, fn func(classify.Classifier) error) error {
+		d, err := parseDataset(map[string]string{"dataset": s.arff}, "dataset")
+		if err != nil {
+			return err
+		}
+		if s.attribute != "" {
+			if err := d.SetClassByName(s.attribute); err != nil {
+				return &soap.Fault{Code: "soap:Server", String: err.Error()}
+			}
+		}
+		return harness.Invoke(backend, s.key, TrainBuilder(s.name, s.opts, d), fn)
+	}
+
+	ep := soap.NewEndpoint("Session")
+	ep.Handle("createSession", func(parts map[string]string) (map[string]string, error) {
+		// Validate by training once through the shared path.
+		c, _, err := trainFromParts(backend, parts)
+		if err != nil {
+			return nil, err
+		}
+		opts, err := parseOptions(parts, "options")
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		nextID++
+		id := "s" + strconv.Itoa(nextID)
+		sessions[id] = &sessionInfo{
+			key:       InstanceKey(parts["classifier"], opts, parts["dataset"], parts["attribute"]),
+			name:      parts["classifier"],
+			opts:      opts,
+			arff:      parts["dataset"],
+			attribute: strings.TrimSpace(parts["attribute"]),
+		}
+		mu.Unlock()
+		return map[string]string{"session": id, "algorithm": c.Name()}, nil
+	})
+	ep.Handle("classify", func(parts map[string]string) (map[string]string, error) {
+		s, err := lookup(parts)
+		if err != nil {
+			return nil, err
+		}
+		unlabelled, err := parseDataset(parts, "instances")
+		if err != nil {
+			return nil, err
+		}
+		if s.attribute != "" {
+			if err := unlabelled.SetClassByName(s.attribute); err != nil {
+				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+			}
+		}
+		var labels []string
+		err = withModel(s, func(c classify.Classifier) error {
+			out, err := classify.Label(c, unlabelled)
+			labels = out
+			return err
+		})
+		if err != nil {
+			if f, ok := err.(*soap.Fault); ok {
+				return nil, f
+			}
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		return map[string]string{"labels": strings.Join(labels, "\n")}, nil
+	})
+	ep.Handle("evaluate", func(parts map[string]string) (map[string]string, error) {
+		s, err := lookup(parts)
+		if err != nil {
+			return nil, err
+		}
+		test, err := parseDataset(parts, "dataset")
+		if err != nil {
+			return nil, err
+		}
+		if s.attribute != "" {
+			if err := test.SetClassByName(s.attribute); err != nil {
+				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+			}
+		}
+		out := map[string]string{}
+		err = withModel(s, func(c classify.Classifier) error {
+			ev, err := classify.NewEvaluation(test)
+			if err != nil {
+				return err
+			}
+			if err := ev.TestModel(c, test); err != nil {
+				return err
+			}
+			out["evaluation"] = ev.String()
+			out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
+			return nil
+		})
+		if err != nil {
+			if f, ok := err.(*soap.Fault); ok {
+				return nil, f
+			}
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		return out, nil
+	})
+	ep.Handle("getModel", func(parts map[string]string) (map[string]string, error) {
+		s, err := lookup(parts)
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]string{}
+		err = withModel(s, func(c classify.Classifier) error {
+			out["model"] = modelText(c)
+			return nil
+		})
+		if err != nil {
+			if f, ok := err.(*soap.Fault); ok {
+				return nil, f
+			}
+			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		}
+		return out, nil
+	})
+	ep.Handle("closeSession", func(parts map[string]string) (map[string]string, error) {
+		id, err := require(parts, "session")
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		_, ok := sessions[strings.TrimSpace(id)]
+		delete(sessions, strings.TrimSpace(id))
+		mu.Unlock()
+		if !ok {
+			return nil, &soap.Fault{Code: "soap:Client", String: fmt.Sprintf("unknown session %q", id)}
+		}
+		return map[string]string{"closed": strings.TrimSpace(id)}, nil
+	})
+	return &Service{
+		Name:     "Session",
+		Category: "session-management",
+		Endpoint: ep,
+		Desc: &wsdl.Description{
+			Service: "Session",
+			Ops: []wsdl.Operation{
+				{Name: "createSession",
+					Doc: "Train a classifier once and pin it in memory for interactive use (§4.5).",
+					Inputs: []wsdl.Part{{Name: "dataset"}, {Name: "classifier"},
+						{Name: "options"}, {Name: "attribute"}},
+					Outputs: []wsdl.Part{{Name: "session"}, {Name: "algorithm"}}},
+				{Name: "classify", Doc: "Label instances with the session's model.",
+					Inputs:  []wsdl.Part{{Name: "session"}, {Name: "instances"}},
+					Outputs: []wsdl.Part{{Name: "labels"}}},
+				{Name: "evaluate", Doc: "Evaluate the session's model on a labelled dataset.",
+					Inputs:  []wsdl.Part{{Name: "session"}, {Name: "dataset"}},
+					Outputs: []wsdl.Part{{Name: "evaluation"}, {Name: "accuracy"}}},
+				{Name: "getModel", Doc: "Return the session model's textual form.",
+					Inputs:  []wsdl.Part{{Name: "session"}},
+					Outputs: []wsdl.Part{{Name: "model"}}},
+				{Name: "closeSession", Doc: "Release the session.",
+					Inputs:  []wsdl.Part{{Name: "session"}},
+					Outputs: []wsdl.Part{{Name: "closed"}}},
+			},
+		},
+	}
+}

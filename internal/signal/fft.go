@@ -1,0 +1,235 @@
+// Package signal reproduces the essentials of Triana's signal-processing
+// toolbox that the paper cites as a benefit of the workflow engine (§2):
+// the Fast Fourier Transform and spectral-analysis algorithms, plus window
+// functions.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x. Power-of-two lengths
+// use the radix-2 Cooley-Tukey algorithm; other lengths use Bluestein's
+// chirp-z transform, so any length is supported.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = make([]complex128, n)
+		copy(out, x)
+		radix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT; len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp.
+	w := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		angle := sign * math.Pi * float64(i) * float64(i) / float64(n)
+		w[i] = cmplx.Rect(1, angle)
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		a[i] = x[i] * w[i]
+		b[i] = cmplx.Conj(w[i])
+	}
+	for i := 1; i < n; i++ {
+		b[m-i] = cmplx.Conj(w[i])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] * scale * w[i]
+	}
+	return out
+}
+
+// Window identifies a tapering window for spectral analysis.
+type Window int
+
+const (
+	// Rectangular applies no tapering.
+	Rectangular Window = iota
+	// Hann applies the raised-cosine window.
+	Hann
+	// Hamming applies the Hamming window.
+	Hamming
+	// Blackman applies the Blackman window.
+	Blackman
+)
+
+// Coefficients returns the window coefficients for length n.
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := 2 * math.Pi * float64(i) / float64(n-1)
+		switch w {
+		case Hann:
+			out[i] = 0.5 * (1 - math.Cos(t))
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		default:
+			out[i] = 1
+		}
+	}
+	if n == 1 {
+		out[0] = 1
+	}
+	return out
+}
+
+// Periodogram returns the one-sided power spectral density estimate of x
+// (length n/2+1) using the given window.
+func Periodogram(x []float64, w Window) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	coeff := w.Coefficients(n)
+	var norm float64
+	wx := make([]complex128, n)
+	for i, v := range x {
+		wx[i] = complex(v*coeff[i], 0)
+		norm += coeff[i] * coeff[i]
+	}
+	spec := FFT(wx)
+	half := n/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		p := cmplx.Abs(spec[i])
+		out[i] = p * p / (norm * float64(n))
+		if i != 0 && i != n/2 {
+			out[i] *= 2 // fold negative frequencies
+		}
+	}
+	return out
+}
+
+// Welch estimates the power spectral density by averaging windowed
+// periodograms of half-overlapping segments of length segLen.
+func Welch(x []float64, segLen int, w Window) ([]float64, error) {
+	if segLen < 2 || segLen > len(x) {
+		return nil, fmt.Errorf("signal: segment length %d out of range (2..%d)", segLen, len(x))
+	}
+	hop := segLen / 2
+	var acc []float64
+	segments := 0
+	for start := 0; start+segLen <= len(x); start += hop {
+		p := Periodogram(x[start:start+segLen], w)
+		if acc == nil {
+			acc = make([]float64, len(p))
+		}
+		for i, v := range p {
+			acc[i] += v
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, fmt.Errorf("signal: no complete segments")
+	}
+	for i := range acc {
+		acc[i] /= float64(segments)
+	}
+	return acc, nil
+}
+
+// DominantFrequency returns the index of the strongest non-DC bin of a
+// one-sided spectrum, i.e. the dominant frequency in cycles-per-signal.
+func DominantFrequency(psd []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i := 1; i < len(psd); i++ {
+		if psd[i] > bestV {
+			best, bestV = i, psd[i]
+		}
+	}
+	return best
+}

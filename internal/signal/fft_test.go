@@ -1,0 +1,163 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones.
+	out := FFTReal([]float64{1, 0, 0, 0})
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// DFT of constant signal concentrates in DC.
+	out = FFTReal([]float64{2, 2, 2, 2})
+	if cmplx.Abs(out[0]-8) > 1e-12 {
+		t.Fatalf("DC = %v, want 8", out[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(out[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, out[i])
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 100, 37} { // powers of two and not
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestBluesteinMatchesRadix2(t *testing.T) {
+	// For power-of-two lengths, the Bluestein path must agree with radix-2.
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	fast := FFT(x)
+	slow := bluestein(x, false)
+	for i := range fast {
+		if cmplx.Abs(fast[i]-slow[i]) > 1e-8 {
+			t.Fatalf("bin %d: radix2 %v vs bluestein %v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time equals energy in frequency / N.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%120 + 2
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			v := rng.NormFloat64()
+			x[i] = complex(v, 0)
+			timeE += v * v
+		}
+		spec := FFT(x)
+		var freqE float64
+		for _, v := range spec {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodogramFindsTone(t *testing.T) {
+	// 8 cycles over 256 samples -> dominant bin 8.
+	xs := datagen.Sine(256, []float64{8}, []float64{1}, 0.05, 4)
+	psd := Periodogram(xs, Hann)
+	if len(psd) != 129 {
+		t.Fatalf("psd length = %d", len(psd))
+	}
+	if dom := DominantFrequency(psd); dom != 8 {
+		t.Fatalf("dominant bin = %d, want 8", dom)
+	}
+}
+
+func TestPeriodogramTwoTones(t *testing.T) {
+	xs := datagen.Sine(512, []float64{8, 50}, []float64{1, 0.5}, 0.02, 5)
+	psd := Periodogram(xs, Hann)
+	if psd[8] < psd[50] {
+		t.Fatalf("stronger tone weaker in psd: %v vs %v", psd[8], psd[50])
+	}
+	if psd[50] < 10*psd[30] {
+		t.Fatalf("secondary tone not visible above noise floor: %v vs %v", psd[50], psd[30])
+	}
+}
+
+func TestWelchSmoothsNoise(t *testing.T) {
+	xs := datagen.Sine(1024, []float64{16}, []float64{1}, 0.5, 6)
+	w, err := Welch(xs, 256, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tone at 16 cycles/signal appears at bin 4 of a 256-sample segment.
+	if dom := DominantFrequency(w); dom != 4 {
+		t.Fatalf("welch dominant bin = %d, want 4", dom)
+	}
+	if _, err := Welch(xs, 1, Hann); err == nil {
+		t.Fatal("segment length 1 accepted")
+	}
+	if _, err := Welch(xs[:10], 256, Hann); err == nil {
+		t.Fatal("segment longer than signal accepted")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		c := w.Coefficients(64)
+		if len(c) != 64 {
+			t.Fatalf("window %d length %d", w, len(c))
+		}
+		for _, v := range c {
+			if v < -1e-12 || v > 1.0001 {
+				t.Fatalf("window %d coefficient %v out of [0,1]", w, v)
+			}
+		}
+	}
+	// Hann endpoints are zero, midpoint is one.
+	h := Hann.Coefficients(65)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[64]) > 1e-12 {
+		t.Fatalf("hann endpoints: %v %v", h[0], h[64])
+	}
+	if math.Abs(h[32]-1) > 1e-12 {
+		t.Fatalf("hann midpoint = %v", h[32])
+	}
+	if got := Rectangular.Coefficients(1); got[0] != 1 {
+		t.Fatalf("length-1 window = %v", got)
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if out := FFT(nil); out != nil {
+		t.Fatal("FFT(nil) != nil")
+	}
+	if out := IFFT(nil); out != nil {
+		t.Fatal("IFFT(nil) != nil")
+	}
+}

@@ -1,0 +1,57 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client invokes SOAP operations over HTTP.
+type Client struct {
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+// DefaultClient is the shared client used by Call.
+var DefaultClient = &Client{}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Call posts an operation envelope to url and returns the response parts.
+// Service-side failures come back as *Fault errors.
+func (c *Client) Call(url, operation string, parts map[string]string) (map[string]string, error) {
+	body, err := Marshal(Message{Operation: operation, Parts: parts})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPAction", `"`+operation+`"`)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: calling %s at %s: %w", operation, url, err)
+	}
+	defer resp.Body.Close()
+	msg, err := Unmarshal(resp.Body)
+	if err != nil {
+		return nil, err // *Fault or parse error
+	}
+	if want := operation + "Response"; msg.Operation != want {
+		return nil, fmt.Errorf("soap: expected %s, got %s", want, msg.Operation)
+	}
+	return msg.Parts, nil
+}
+
+// Call invokes an operation using the default client.
+func Call(url, operation string, parts map[string]string) (map[string]string, error) {
+	return DefaultClient.Call(url, operation, parts)
+}

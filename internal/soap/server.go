@@ -1,0 +1,96 @@
+package soap
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Handler processes one operation invocation: named string parts in, named
+// string parts out. Returning an error produces a SOAP fault.
+type Handler func(parts map[string]string) (map[string]string, error)
+
+// Endpoint dispatches SOAP envelopes to operation handlers; it implements
+// http.Handler and is the Axis-equivalent hosting container for one
+// service.
+type Endpoint struct {
+	// ServiceName labels the endpoint in faults and WSDL.
+	ServiceName string
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewEndpoint returns an empty endpoint for a named service.
+func NewEndpoint(serviceName string) *Endpoint {
+	return &Endpoint{ServiceName: serviceName, handlers: map[string]Handler{}}
+}
+
+// Handle registers an operation handler; it panics on duplicates so wiring
+// errors surface at startup.
+func (e *Endpoint) Handle(operation string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.handlers[operation]; dup {
+		panic("soap: duplicate operation " + operation + " on " + e.ServiceName)
+	}
+	e.handlers[operation] = h
+}
+
+// Operations returns the registered operation names, sorted.
+func (e *Endpoint) Operations() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.handlers))
+	for op := range e.handlers {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	msg, err := Unmarshal(r.Body)
+	if err != nil {
+		e.fault(w, &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
+		return
+	}
+	e.mu.RLock()
+	h, ok := e.handlers[msg.Operation]
+	e.mu.RUnlock()
+	if !ok {
+		e.fault(w, &Fault{
+			Code:   "soap:Client",
+			String: fmt.Sprintf("service %s has no operation %q", e.ServiceName, msg.Operation),
+		})
+		return
+	}
+	out, err := h(msg.Parts)
+	if err != nil {
+		if f, isFault := err.(*Fault); isFault {
+			e.fault(w, f)
+			return
+		}
+		e.fault(w, &Fault{Code: "soap:Server", String: err.Error()})
+		return
+	}
+	reply, err := Marshal(Message{Operation: msg.Operation + "Response", Parts: out})
+	if err != nil {
+		e.fault(w, &Fault{Code: "soap:Server", String: "marshalling response", Detail: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(reply)
+}
+
+func (e *Endpoint) fault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(MarshalFault(f))
+}

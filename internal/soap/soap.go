@@ -1,0 +1,179 @@
+// Package soap implements the SOAP 1.1 messaging substrate of the toolkit.
+// The paper deploys its services with Apache Axis over Tomcat and drives
+// them through "pre-defined SOAP messages" (§4.5); this package provides
+// the same wire model on net/http: document-style envelopes whose body
+// element names the operation and whose children carry named string parts.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// Message is an operation invocation or reply: the operation name plus
+// named string parts. Binary parts (e.g. PNG images) travel base64-encoded.
+type Message struct {
+	Operation string
+	Parts     map[string]string
+}
+
+// Fault is a SOAP fault, also used as the Go error for failed calls.
+type Fault struct {
+	Code   string `xml:"faultcode"`
+	String string `xml:"faultstring"`
+	Detail string `xml:"detail,omitempty"`
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	if f.Detail != "" {
+		return fmt.Sprintf("soap fault %s: %s (%s)", f.Code, f.String, f.Detail)
+	}
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// Marshal renders a message as a SOAP 1.1 envelope. Parts are emitted in
+// sorted order for deterministic wire bytes.
+func Marshal(m Message) ([]byte, error) {
+	if m.Operation == "" {
+		return nil, fmt.Errorf("soap: message has no operation")
+	}
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, `<soap:Envelope xmlns:soap=%q><soap:Body>`, EnvelopeNS)
+	fmt.Fprintf(&b, "<%s>", m.Operation)
+	keys := make([]string, 0, len(m.Parts))
+	for k := range m.Parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !validName(k) {
+			return nil, fmt.Errorf("soap: invalid part name %q", k)
+		}
+		fmt.Fprintf(&b, "<%s>", k)
+		if err := xml.EscapeText(&b, []byte(m.Parts[k])); err != nil {
+			return nil, fmt.Errorf("soap: %w", err)
+		}
+		fmt.Fprintf(&b, "</%s>", k)
+	}
+	fmt.Fprintf(&b, "</%s>", m.Operation)
+	b.WriteString(`</soap:Body></soap:Envelope>`)
+	return b.Bytes(), nil
+}
+
+// MarshalFault renders a fault envelope.
+func MarshalFault(f *Fault) []byte {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, `<soap:Envelope xmlns:soap=%q><soap:Body><soap:Fault>`, EnvelopeNS)
+	fmt.Fprintf(&b, "<faultcode>%s</faultcode>", f.Code)
+	b.WriteString("<faultstring>")
+	_ = xml.EscapeText(&b, []byte(f.String))
+	b.WriteString("</faultstring>")
+	if f.Detail != "" {
+		b.WriteString("<detail>")
+		_ = xml.EscapeText(&b, []byte(f.Detail))
+		b.WriteString("</detail>")
+	}
+	b.WriteString(`</soap:Fault></soap:Body></soap:Envelope>`)
+	return b.Bytes()
+}
+
+// Unmarshal parses a SOAP envelope into a message. A fault body returns a
+// *Fault error.
+func Unmarshal(r io.Reader) (Message, error) {
+	dec := xml.NewDecoder(r)
+	msg := Message{Parts: map[string]string{}}
+	// States: looking for Envelope -> Body -> operation element.
+	depth := 0
+	inBody := false
+	var opName string
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return msg, fmt.Errorf("soap: malformed envelope: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch {
+			case depth == 1:
+				if t.Name.Local != "Envelope" {
+					return msg, fmt.Errorf("soap: root element %q is not Envelope", t.Name.Local)
+				}
+			case depth == 2 && t.Name.Local == "Body":
+				inBody = true
+			case depth == 3 && inBody:
+				if t.Name.Local == "Fault" {
+					var f Fault
+					if err := dec.DecodeElement(&f, &t); err != nil {
+						return msg, fmt.Errorf("soap: malformed fault: %w", err)
+					}
+					return msg, &f
+				}
+				opName = t.Name.Local
+				msg.Operation = opName
+				if err := decodeParts(dec, &msg); err != nil {
+					return msg, err
+				}
+				depth-- // decodeParts consumed the end element
+			}
+		case xml.EndElement:
+			depth--
+		}
+	}
+	if msg.Operation == "" {
+		return msg, fmt.Errorf("soap: envelope has no operation element")
+	}
+	return msg, nil
+}
+
+// decodeParts reads <name>value</name> children until the operation's end
+// element.
+func decodeParts(dec *xml.Decoder, msg *Message) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("soap: malformed body: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var value string
+			if err := dec.DecodeElement(&value, &t); err != nil {
+				return fmt.Errorf("soap: malformed part %q: %w", t.Name.Local, err)
+			}
+			msg.Parts[t.Name.Local] = value
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// validName reports whether s is usable as an XML element name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		digit := r >= '0' && r <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return !strings.HasPrefix(strings.ToLower(s), "xml")
+}

@@ -1,0 +1,236 @@
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"sort"
+)
+
+// palette holds the series colours of the PNG renderers.
+var palette = []color.RGBA{
+	{31, 119, 180, 255},
+	{255, 127, 14, 255},
+	{44, 160, 44, 255},
+	{214, 39, 40, 255},
+	{148, 103, 189, 255},
+	{140, 86, 75, 255},
+	{227, 119, 194, 255},
+	{127, 127, 127, 255},
+}
+
+// canvas wraps an RGBA image with data-space projection.
+type canvas struct {
+	img                    *image.RGBA
+	minX, maxX, minY, maxY float64
+	left, top, w, h        int
+}
+
+func newCanvas(width, height int, minX, maxX, minY, maxY float64) *canvas {
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.SetRGBA(x, y, color.RGBA{255, 255, 255, 255})
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	c := &canvas{img: img, minX: minX, maxX: maxX, minY: minY, maxY: maxY,
+		left: 40, top: 20, w: width - 60, h: height - 50}
+	// Axes.
+	axis := color.RGBA{0, 0, 0, 255}
+	for x := c.left; x <= c.left+c.w; x++ {
+		img.SetRGBA(x, c.top+c.h, axis)
+	}
+	for y := c.top; y <= c.top+c.h; y++ {
+		img.SetRGBA(c.left, y, axis)
+	}
+	return c
+}
+
+func (c *canvas) px(x, y float64) (int, int) {
+	cx := c.left + int((x-c.minX)/(c.maxX-c.minX)*float64(c.w))
+	cy := c.top + c.h - int((y-c.minY)/(c.maxY-c.minY)*float64(c.h))
+	return cx, cy
+}
+
+func (c *canvas) dot(x, y float64, col color.RGBA, r int) {
+	cx, cy := c.px(x, y)
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				c.set(cx+dx, cy+dy, col)
+			}
+		}
+	}
+}
+
+func (c *canvas) set(x, y int, col color.RGBA) {
+	if image.Pt(x, y).In(c.img.Rect) {
+		c.img.SetRGBA(x, y, col)
+	}
+}
+
+// line draws a data-space segment with Bresenham's algorithm.
+func (c *canvas) line(x0, y0, x1, y1 float64, col color.RGBA) {
+	ax, ay := c.px(x0, y0)
+	bx, by := c.px(x1, y1)
+	dx, dy := abs(bx-ax), -abs(by-ay)
+	sx, sy := 1, 1
+	if ax >= bx {
+		sx = -1
+	}
+	if ay >= by {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		c.set(ax, ay, col)
+		if ax == bx && ay == by {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			ax += sx
+		}
+		if e2 <= dx {
+			err += dx
+			ay += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// encode renders the canvas to PNG bytes.
+func (c *canvas) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, c.img); err != nil {
+		return nil, fmt.Errorf("viz: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func seriesBounds(series []Series) (minX, maxX, minY, maxY float64) {
+	minX, maxX = math.Inf(1), math.Inf(-1)
+	minY, maxY = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	return
+}
+
+// ScatterPNG renders series as a scatter plot and returns PNG bytes — the
+// Image Plotter tool of §4.3.
+func ScatterPNG(width, height int, series ...Series) ([]byte, error) {
+	minX, maxX, minY, maxY := seriesBounds(series)
+	c := newCanvas(width, height, minX, maxX, minY, maxY)
+	for si, s := range series {
+		col := palette[si%len(palette)]
+		for i := range s.X {
+			if !math.IsNaN(s.X[i]) && !math.IsNaN(s.Y[i]) {
+				c.dot(s.X[i], s.Y[i], col, 2)
+			}
+		}
+	}
+	return c.encode()
+}
+
+// LinePNG renders series as connected lines and returns PNG bytes.
+func LinePNG(width, height int, series ...Series) ([]byte, error) {
+	minX, maxX, minY, maxY := seriesBounds(series)
+	c := newCanvas(width, height, minX, maxX, minY, maxY)
+	for si, s := range series {
+		col := palette[si%len(palette)]
+		for i := 1; i < len(s.X); i++ {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) ||
+				math.IsNaN(s.X[i-1]) || math.IsNaN(s.Y[i-1]) {
+				continue
+			}
+			c.line(s.X[i-1], s.Y[i-1], s.X[i], s.Y[i], col)
+		}
+	}
+	return c.encode()
+}
+
+// Point3D is one (X, Y, Z) sample for Plot3DPNG.
+type Point3D struct{ X, Y, Z float64 }
+
+// Plot3DPNG renders 3-D points via an isometric projection with Z-dependent
+// colouring, standing in for the Mathematica plot3D operation of §4.2: CSV
+// points in, PNG image out.
+func Plot3DPNG(width, height int, pts []Point3D) ([]byte, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("viz: no points to plot")
+	}
+	// Normalise each axis to [0,1].
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minZ, maxZ := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		minZ, maxZ = math.Min(minZ, p.Z), math.Max(maxZ, p.Z)
+	}
+	norm := func(v, lo, hi float64) float64 {
+		if hi == lo {
+			return 0.5
+		}
+		return (v - lo) / (hi - lo)
+	}
+	// Isometric projection: u = x - y (rotated 45°), v = (x + y)/2 - z.
+	type proj struct {
+		u, v, z float64
+	}
+	prj := make([]proj, len(pts))
+	for i, p := range pts {
+		x := norm(p.X, minX, maxX)
+		y := norm(p.Y, minY, maxY)
+		z := norm(p.Z, minZ, maxZ)
+		prj[i] = proj{u: x - y, v: (x+y)/2 + z, z: z}
+	}
+	// Painter's order: far points (small v) first.
+	order := make([]int, len(prj))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return prj[order[a]].v > prj[order[b]].v })
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range prj {
+		minU, maxU = math.Min(minU, p.u), math.Max(maxU, p.u)
+		minV, maxV = math.Min(minV, p.v), math.Max(maxV, p.v)
+	}
+	c := newCanvas(width, height, minU, maxU, minV, maxV)
+	for _, i := range order {
+		p := prj[i]
+		// Colour ramp blue (low z) -> red (high z).
+		col := color.RGBA{uint8(40 + 200*p.z), 60, uint8(240 - 200*p.z), 255}
+		c.dot(p.u, p.v, col, 2)
+	}
+	return c.encode()
+}

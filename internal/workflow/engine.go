@@ -1,0 +1,232 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind labels a monitoring event.
+type EventKind int
+
+const (
+	// TaskStarted fires when a task begins executing.
+	TaskStarted EventKind = iota
+	// TaskFinished fires on success.
+	TaskFinished
+	// TaskFailed fires when an attempt fails.
+	TaskFailed
+	// TaskRetried fires when execution moves to an alternate unit — the
+	// paper's job migration on fault.
+	TaskRetried
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case TaskStarted:
+		return "started"
+	case TaskFinished:
+		return "finished"
+	case TaskFailed:
+		return "failed"
+	case TaskRetried:
+		return "retried"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one progress notification (§3's service-monitoring
+// requirement: "allow users to monitor the progress of their jobs").
+type Event struct {
+	Kind     EventKind
+	TaskID   string
+	UnitName string
+	Attempt  int
+	Err      error
+	Duration time.Duration
+}
+
+// Monitor receives events; it must be safe for concurrent use.
+type Monitor func(Event)
+
+// Engine executes workflow graphs.
+type Engine struct {
+	// Parallel enables concurrent execution of ready tasks (default true
+	// via NewEngine).
+	Parallel bool
+	// Monitor, when set, receives progress events.
+	Monitor Monitor
+}
+
+// NewEngine returns a parallel engine.
+func NewEngine() *Engine { return &Engine{Parallel: true} }
+
+func (e *Engine) emit(ev Event) {
+	if e.Monitor != nil {
+		e.Monitor(ev)
+	}
+}
+
+// Result holds the output values of every executed task.
+type Result struct {
+	// Outputs[taskID][port] is the port's value.
+	Outputs map[string]Values
+}
+
+// Value returns an output value, with ok reporting presence.
+func (r *Result) Value(taskID, port string) (string, bool) {
+	vs, ok := r.Outputs[taskID]
+	if !ok {
+		return "", false
+	}
+	v, ok := vs[port]
+	return v, ok
+}
+
+// Run executes the graph: tasks start as soon as every cabled input is
+// available; independent tasks run concurrently when Parallel is set.
+// Params provide values for unconnected input nodes. Task failures abort
+// the run after exhausting alternates.
+func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: map[string]Values{}}
+	var mu sync.Mutex // guards res.Outputs
+
+	// waits[taskID] = number of distinct upstream tasks still pending.
+	waits := map[string]int{}
+	dependents := map[string][]string{}
+	for _, id := range order {
+		preds := g.predecessors(id)
+		waits[id] = len(preds)
+		for _, p := range preds {
+			dependents[p] = append(dependents[p], id)
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errCh := make(chan error, len(order))
+	doneCh := make(chan string, len(order))
+	var wg sync.WaitGroup
+
+	start := func(id string) {
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			if runCtx.Err() != nil {
+				return
+			}
+			out, err := e.runTask(runCtx, g, id, res, &mu)
+			if err != nil {
+				errCh <- fmt.Errorf("workflow: task %q: %w", id, err)
+				cancel()
+				return
+			}
+			mu.Lock()
+			res.Outputs[id] = out
+			mu.Unlock()
+			doneCh <- id
+		}
+		if e.Parallel {
+			go run()
+		} else {
+			run()
+		}
+	}
+
+	pendingCount := len(order)
+	for _, id := range order {
+		if waits[id] == 0 {
+			start(id)
+		}
+	}
+	if pendingCount == 0 {
+		return res, nil
+	}
+	finished := 0
+	var firstErr error
+	for finished < pendingCount && firstErr == nil {
+		select {
+		case id := <-doneCh:
+			finished++
+			for _, dep := range dependents[id] {
+				waits[dep]--
+				if waits[dep] == 0 {
+					start(dep)
+				}
+			}
+		case err := <-errCh:
+			firstErr = err
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+		}
+	}
+	cancel()
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runTask assembles a task's inputs and executes its unit, falling back to
+// alternates on failure.
+func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, mu *sync.Mutex) (Values, error) {
+	t := g.Task(id)
+	in := Values{}
+	for k, v := range t.Params {
+		in[k] = v
+	}
+	mu.Lock()
+	for _, c := range g.Cables() {
+		if c.ToTask != id {
+			continue
+		}
+		src, ok := res.Outputs[c.FromTask]
+		if !ok {
+			mu.Unlock()
+			return nil, fmt.Errorf("internal: upstream %q not finished", c.FromTask)
+		}
+		v, ok := src[c.FromPort]
+		if !ok {
+			mu.Unlock()
+			return nil, fmt.Errorf("upstream %s produced no %q output", c.FromTask, c.FromPort)
+		}
+		in[c.ToPort] = v
+	}
+	mu.Unlock()
+
+	units := append([]Unit{t.Unit}, t.Alternates...)
+	maxAttempts := t.Retries + 1
+	if maxAttempts < len(units) {
+		maxAttempts = len(units)
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		u := units[attempt%len(units)]
+		e.emit(Event{Kind: TaskStarted, TaskID: id, UnitName: u.Name(), Attempt: attempt})
+		began := time.Now()
+		out, err := u.Run(ctx, in)
+		dur := time.Since(began)
+		if err == nil {
+			e.emit(Event{Kind: TaskFinished, TaskID: id, UnitName: u.Name(), Attempt: attempt, Duration: dur})
+			return out, nil
+		}
+		lastErr = err
+		e.emit(Event{Kind: TaskFailed, TaskID: id, UnitName: u.Name(), Attempt: attempt, Err: err, Duration: dur})
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt+1 < maxAttempts {
+			next := units[(attempt+1)%len(units)]
+			e.emit(Event{Kind: TaskRetried, TaskID: id, UnitName: next.Name(), Attempt: attempt + 1})
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,247 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is a placed unit in a workflow graph. Params supply values for input
+// nodes that are not fed by a cable (the property panels of the Triana
+// workspace). Alternates are equivalent service instances tried in order
+// when the primary unit fails — the paper's fault-tolerance requirement
+// ("complete the task if a fault occurs by moving the job to another
+// resource", §3).
+type Task struct {
+	ID         string
+	Unit       Unit
+	Params     Values
+	Alternates []Unit
+	// Retries is the number of additional attempts across Unit and
+	// Alternates (default: len(Alternates)).
+	Retries int
+}
+
+// Cable connects an output node of one task to an input node of another —
+// "dragging a cable from the output node ... to the input node" (§4).
+type Cable struct {
+	FromTask, FromPort string
+	ToTask, ToPort     string
+}
+
+// Graph is a composed workflow.
+type Graph struct {
+	Name   string
+	tasks  map[string]*Task
+	order  []string // insertion order, for deterministic serialisation
+	cables []Cable
+}
+
+// NewGraph returns an empty workflow.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, tasks: map[string]*Task{}}
+}
+
+// Add places a unit as a task; the ID must be unique.
+func (g *Graph) Add(id string, u Unit) (*Task, error) {
+	if id == "" {
+		return nil, fmt.Errorf("workflow: empty task id")
+	}
+	if _, dup := g.tasks[id]; dup {
+		return nil, fmt.Errorf("workflow: duplicate task id %q", id)
+	}
+	t := &Task{ID: id, Unit: u, Params: Values{}}
+	g.tasks[id] = t
+	g.order = append(g.order, id)
+	return t, nil
+}
+
+// MustAdd is Add panicking on error, for programmatic graph construction.
+func (g *Graph) MustAdd(id string, u Unit) *Task {
+	t, err := g.Add(id, u)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Task returns the task with the given ID, or nil.
+func (g *Graph) Task(id string) *Task { return g.tasks[id] }
+
+// Tasks returns the task IDs in insertion order.
+func (g *Graph) Tasks() []string { return append([]string(nil), g.order...) }
+
+// Cables returns a copy of the cable list.
+func (g *Graph) Cables() []Cable { return append([]Cable(nil), g.cables...) }
+
+// Connect runs a cable from an output node to an input node, validating
+// that both ends exist and that the input node is not already fed.
+func (g *Graph) Connect(fromTask, fromPort, toTask, toPort string) error {
+	from, ok := g.tasks[fromTask]
+	if !ok {
+		return fmt.Errorf("workflow: no task %q", fromTask)
+	}
+	to, ok := g.tasks[toTask]
+	if !ok {
+		return fmt.Errorf("workflow: no task %q", toTask)
+	}
+	if !contains(from.Unit.Outputs(), fromPort) {
+		return fmt.Errorf("workflow: task %q (%s) has no output node %q (has %v)",
+			fromTask, from.Unit.Name(), fromPort, from.Unit.Outputs())
+	}
+	if !contains(to.Unit.Inputs(), toPort) {
+		return fmt.Errorf("workflow: task %q (%s) has no input node %q (has %v)",
+			toTask, to.Unit.Name(), toPort, to.Unit.Inputs())
+	}
+	for _, c := range g.cables {
+		if c.ToTask == toTask && c.ToPort == toPort {
+			return fmt.Errorf("workflow: input node %s.%s is already connected", toTask, toPort)
+		}
+	}
+	g.cables = append(g.cables, Cable{fromTask, fromPort, toTask, toPort})
+	return nil
+}
+
+// MustConnect is Connect panicking on error.
+func (g *Graph) MustConnect(fromTask, fromPort, toTask, toPort string) {
+	if err := g.Connect(fromTask, fromPort, toTask, toPort); err != nil {
+		panic(err)
+	}
+}
+
+// Disconnect removes the cable feeding an input node, if any.
+func (g *Graph) Disconnect(toTask, toPort string) bool {
+	for i, c := range g.cables {
+		if c.ToTask == toTask && c.ToPort == toPort {
+			g.cables = append(g.cables[:i], g.cables[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes a task and every cable touching it.
+func (g *Graph) Remove(id string) bool {
+	if _, ok := g.tasks[id]; !ok {
+		return false
+	}
+	delete(g.tasks, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	kept := g.cables[:0]
+	for _, c := range g.cables {
+		if c.FromTask != id && c.ToTask != id {
+			kept = append(kept, c)
+		}
+	}
+	g.cables = kept
+	return true
+}
+
+// predecessors returns the tasks feeding t via cables.
+func (g *Graph) predecessors(id string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range g.cables {
+		if c.ToTask == id && !seen[c.FromTask] {
+			seen[c.FromTask] = true
+			out = append(out, c.FromTask)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the graph is executable: every cabled endpoint exists and
+// the cable relation is acyclic.
+func (g *Graph) Validate() error {
+	indeg := map[string]int{}
+	for id := range g.tasks {
+		indeg[id] = 0
+	}
+	for _, c := range g.cables {
+		if _, ok := g.tasks[c.FromTask]; !ok {
+			return fmt.Errorf("workflow: cable from unknown task %q", c.FromTask)
+		}
+		if _, ok := g.tasks[c.ToTask]; !ok {
+			return fmt.Errorf("workflow: cable to unknown task %q", c.ToTask)
+		}
+	}
+	for _, c := range g.cables {
+		indeg[c.ToTask]++
+	}
+	// Kahn's algorithm; leftover nodes indicate a cycle.
+	var queue []string
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, c := range g.cables {
+			if c.FromTask != id {
+				continue
+			}
+			indeg[c.ToTask]--
+			if indeg[c.ToTask] == 0 {
+				queue = append(queue, c.ToTask)
+			}
+		}
+	}
+	if visited != len(g.tasks) {
+		return fmt.Errorf("workflow: graph %q contains a cycle", g.Name)
+	}
+	return nil
+}
+
+// TopoOrder returns the tasks in a deterministic topological order.
+func (g *Graph) TopoOrder() ([]string, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	indeg := map[string]int{}
+	for id := range g.tasks {
+		indeg[id] = 0
+	}
+	for _, c := range g.cables {
+		indeg[c.ToTask]++
+	}
+	var out []string
+	remaining := append([]string(nil), g.order...)
+	for len(remaining) > 0 {
+		progressed := false
+		for i, id := range remaining {
+			if indeg[id] == 0 {
+				out = append(out, id)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				for _, c := range g.cables {
+					if c.FromTask == id {
+						indeg[c.ToTask]--
+					}
+				}
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("workflow: graph %q contains a cycle", g.Name)
+		}
+	}
+	return out, nil
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+)
+
+// SOAPUnit invokes one operation of a remote Web Service — the coloured
+// service tools that appear in the workspace after a WSDL import (§4). Its
+// input nodes are the operation's input parts and its output nodes the
+// response parts.
+type SOAPUnit struct {
+	Endpoint  string
+	Service   string
+	Operation string
+	In, Out   []string
+	// Client defaults to the package-level SOAP client.
+	Client *soap.Client
+}
+
+// Name implements Unit.
+func (u *SOAPUnit) Name() string { return u.Service + "." + u.Operation }
+
+// Inputs implements Unit.
+func (u *SOAPUnit) Inputs() []string { return u.In }
+
+// Outputs implements Unit.
+func (u *SOAPUnit) Outputs() []string { return u.Out }
+
+// Run implements Unit: only declared input parts are forwarded; inputs left
+// unset are sent as empty parts only if absent is not acceptable, i.e. they
+// are simply omitted.
+func (u *SOAPUnit) Run(ctx context.Context, in Values) (Values, error) {
+	parts := map[string]string{}
+	for _, name := range u.In {
+		if v, ok := in[name]; ok {
+			parts[name] = v
+		}
+	}
+	client := u.Client
+	if client == nil {
+		client = soap.DefaultClient
+	}
+	// Honour ctx cancellation by bounding the HTTP call.
+	type callResult struct {
+		out map[string]string
+		err error
+	}
+	ch := make(chan callResult, 1)
+	go func() {
+		out, err := client.Call(u.Endpoint, u.Operation, parts)
+		ch <- callResult{out, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return Values(r.out), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Spec implements Specced.
+func (u *SOAPUnit) Spec() Spec {
+	cfg := map[string]string{
+		"endpoint":  u.Endpoint,
+		"service":   u.Service,
+		"operation": u.Operation,
+	}
+	for i, p := range u.In {
+		cfg[fmt.Sprintf("in.%d", i)] = p
+	}
+	for i, p := range u.Out {
+		cfg[fmt.Sprintf("out.%d", i)] = p
+	}
+	return Spec{Kind: "soap", Config: cfg}
+}
+
+func init() {
+	RegisterUnitKind("soap", func(cfg map[string]string) (Unit, error) {
+		u := &SOAPUnit{
+			Endpoint:  cfg["endpoint"],
+			Service:   cfg["service"],
+			Operation: cfg["operation"],
+		}
+		for i := 0; ; i++ {
+			p, ok := cfg[fmt.Sprintf("in.%d", i)]
+			if !ok {
+				break
+			}
+			u.In = append(u.In, p)
+		}
+		for i := 0; ; i++ {
+			p, ok := cfg[fmt.Sprintf("out.%d", i)]
+			if !ok {
+				break
+			}
+			u.Out = append(u.Out, p)
+		}
+		if u.Endpoint == "" || u.Operation == "" {
+			return nil, fmt.Errorf("workflow: soap unit needs endpoint and operation")
+		}
+		return u, nil
+	})
+}
+
+// ImportWSDL fetches a WSDL document from url and creates one SOAPUnit per
+// operation, reproducing Triana's import flow: "a Web Service is imported
+// to the workspace by providing its WSDL interface. Once the interface is
+// provided Triana creates a tool for each operation provided by the
+// service" (§4).
+func ImportWSDL(url string) ([]*SOAPUnit, error) {
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: fetching WSDL %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workflow: fetching WSDL %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("workflow: reading WSDL: %w", err)
+	}
+	desc, err := wsdl.ParseBytes(body)
+	if err != nil {
+		return nil, err
+	}
+	return UnitsFromDescription(desc), nil
+}
+
+// UnitsFromDescription creates one SOAPUnit per operation of a parsed WSDL
+// description.
+func UnitsFromDescription(desc *wsdl.Description) []*SOAPUnit {
+	units := make([]*SOAPUnit, 0, len(desc.Ops))
+	for _, op := range desc.Ops {
+		u := &SOAPUnit{Endpoint: desc.Endpoint, Service: desc.Service, Operation: op.Name}
+		for _, p := range op.Inputs {
+			u.In = append(u.In, p.Name)
+		}
+		for _, p := range op.Outputs {
+			u.Out = append(u.Out, p.Name)
+		}
+		units = append(units, u)
+	}
+	return units
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/experiment"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/signal"
@@ -515,6 +516,73 @@ func BenchmarkModelSerialise(b *testing.B) {
 		}
 		if _, err := model.Unmarshal(raw); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Experiment batch engine (internal/experiment) ---
+
+// noopExecutor isolates the scheduler's own cost: worker pool dispatch,
+// journal-free bookkeeping and result collection.
+type noopExecutor struct{}
+
+func (noopExecutor) Name() string { return "noop" }
+func (noopExecutor) Execute(ctx context.Context, job experiment.Job, d *dataset.Dataset) (experiment.Metrics, error) {
+	return experiment.Metrics{Accuracy: 1}, nil
+}
+
+// BenchmarkExperimentScheduler measures per-job scheduling overhead: the
+// batch engine must stay negligible next to training time.
+func BenchmarkExperimentScheduler(b *testing.B) {
+	jobs := make([]experiment.Job, 256)
+	for i := range jobs {
+		jobs[i] = experiment.Job{ID: fmt.Sprintf("job-%03d", i), Algorithm: "noop", Dataset: "none"}
+	}
+	s := &experiment.Scheduler{Workers: 8}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(ctx, jobs, nil, noopExecutor{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+// BenchmarkExperimentSweep is a real (small) sweep: 4 classifiers × 3-fold
+// CV on the weather dataset through the local executor.
+func BenchmarkExperimentSweep(b *testing.B) {
+	spec := &experiment.Spec{
+		Name:  "bench-sweep",
+		Folds: 3,
+		Seed:  1,
+		Datasets: []experiment.DatasetSpec{
+			{Name: "weather", Builtin: "weather"},
+		},
+		Algorithms: []experiment.AlgorithmSpec{
+			{Name: "J48"}, {Name: "OneR"}, {Name: "ZeroR"}, {Name: "IBk"},
+		},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := spec.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &experiment.Scheduler{}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := s.Run(ctx, jobs, data, experiment.Local{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Status != experiment.StatusOK {
+				b.Fatalf("job %s: %s (%s)", res.Job.ID, res.Status, res.Err)
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/url"
+
+	"repro/internal/soap"
+)
+
+// TransientError marks a failure worth retrying (network hiccups, busy
+// services, per-attempt timeouts). Executors wrap such errors with
+// Transient; everything else fails the job on first sight.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err should be retried. Beyond explicit
+// TransientError wrapping it recognises the common shapes of recoverable
+// distributed failure: attempt deadlines, network/transport errors, and
+// server-side SOAP faults (soap:Client faults — bad requests — are
+// permanent: retrying an unknown classifier never helps).
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var fault *soap.Fault
+	if errors.As(err, &fault) {
+		return fault.Code != "soap:Client"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Job statuses recorded in the journal and in JobResult.
+const (
+	StatusOK      = "ok"
+	StatusFailed  = "failed"
+	StatusSkipped = "skipped" // journal hit on resume; never written back
+)
+
+// Record is one journal line: the terminal outcome of one job attempt
+// sequence. Algorithm/dataset are duplicated from the job so a report can
+// be produced from the journal alone.
+type Record struct {
+	JobID     string    `json:"job"`
+	Task      string    `json:"task,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Dataset   string    `json:"dataset,omitempty"`
+	Status    string    `json:"status"`
+	Attempts  int       `json:"attempts"`
+	Metrics   *Metrics  `json:"metrics,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Started   time.Time `json:"started"`
+	WallMS    float64   `json:"wallMs"`
+}
+
+// Journal is the append-only JSON-lines checkpoint of a batch. Every
+// terminal job outcome is one line, fsynced on write, so a killed batch
+// loses at most the jobs that were still in flight. Reopening the same
+// path loads the completed set; the scheduler skips jobs whose ID has a
+// StatusOK record (failed jobs are retried on resume).
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	records []Record
+	done    map[string]Record // JobID -> latest StatusOK record
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads its
+// existing records. A torn final line — the signature of a killed writer —
+// is truncated away so subsequent appends stay well-formed.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, done: map[string]Record{}}
+	var goodOffset int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break // no trailing newline: torn write, drop it
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiment: journal %s: %w", path, err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.JobID == "" {
+			break // malformed line: truncate from here
+		}
+		goodOffset += int64(len(line))
+		j.add(rec)
+	}
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+func (j *Journal) add(rec Record) {
+	j.records = append(j.records, rec)
+	if rec.Status == StatusOK {
+		j.done[rec.JobID] = rec
+	}
+}
+
+// Append writes one record and syncs it to disk.
+func (j *Journal) Append(rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("experiment: journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("experiment: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: journal: %w", err)
+	}
+	j.add(rec)
+	return nil
+}
+
+// Completed returns the StatusOK record for a job ID, if one exists.
+func (j *Journal) Completed(jobID string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.done[jobID]
+	return rec, ok
+}
+
+// Records returns a copy of every journal record in append order.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// Len returns the number of journal records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

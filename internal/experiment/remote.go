@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arff"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+// Remote dispatches classify jobs to SOAP classifier services — the
+// paper's general Classifier Web Service (§4.1) — spreading jobs over its
+// endpoints round-robin so one spec fans out across remote machines.
+// Request shapes mirror internal/services: each job becomes one
+// classifyInstance call (dataset ARFF + classifier + options JSON +
+// class attribute), and the returned accuracy part becomes the job metric.
+// Note the service evaluates on its training data (resubstitution), not by
+// cross-validation; use Local when fold-based estimates matter.
+type Remote struct {
+	// Client is the SOAP client; nil means soap.DefaultClient.
+	Client *soap.Client
+
+	endpoints []string
+	next      atomic.Uint64
+
+	mu   sync.Mutex
+	arff map[string]string // dataset name -> formatted ARFF text
+}
+
+// NewRemote returns a remote executor over fixed service endpoints.
+func NewRemote(endpoints ...string) (*Remote, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("experiment: remote executor needs at least one endpoint")
+	}
+	return &Remote{endpoints: endpoints, arff: map[string]string{}}, nil
+}
+
+// DiscoverRemote builds a remote executor from every classifier-category
+// service published in the registry at registryURL — the paper's UDDI
+// inquiry step. httpClient may be nil for the default.
+func DiscoverRemote(registryURL string, httpClient *http.Client) (*Remote, error) {
+	rc := &registry.Client{BaseURL: registryURL, HTTPClient: httpClient}
+	entries, err := rc.Inquire("", "classifier")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: discovering classifier services: %w", err)
+	}
+	var endpoints []string
+	for _, e := range entries {
+		if e.Endpoint != "" {
+			endpoints = append(endpoints, e.Endpoint)
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("experiment: registry %s lists no classifier services", registryURL)
+	}
+	return NewRemote(endpoints...)
+}
+
+// Endpoints returns the service endpoints jobs are spread across.
+func (r *Remote) Endpoints() []string { return append([]string(nil), r.endpoints...) }
+
+// Name implements Executor.
+func (r *Remote) Name() string { return "remote" }
+
+// arffText formats (once per dataset) the ARFF document sent on the wire.
+func (r *Remote) arffText(name string, d *dataset.Dataset) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if text, ok := r.arff[name]; ok {
+		return text
+	}
+	text := arff.Format(d)
+	r.arff[name] = text
+	return text
+}
+
+// Execute implements Executor: one classifyInstance call per job.
+// Transport failures and soap:Server faults surface as transient (the
+// scheduler retries them, eventually on another endpoint); soap:Client
+// faults are permanent.
+func (r *Remote) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, error) {
+	if job.Task != "" && job.Task != TaskClassify {
+		return Metrics{}, fmt.Errorf("experiment: remote executor supports classify jobs only, not %q", job.Task)
+	}
+	if d == nil {
+		return Metrics{}, fmt.Errorf("experiment: job %s: no dataset %q", job.ID, job.Dataset)
+	}
+	endpoint := r.endpoints[int(r.next.Add(1)-1)%len(r.endpoints)]
+	opts, err := json.Marshal(job.Options)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("experiment: job %s: %w", job.ID, err)
+	}
+	class := ""
+	if ca := d.ClassAttribute(); ca != nil {
+		class = ca.Name
+	}
+	client := r.Client
+	if client == nil {
+		client = soap.DefaultClient
+	}
+	parts := map[string]string{
+		"dataset":    r.arffText(job.Dataset, d),
+		"classifier": job.Algorithm,
+		"options":    string(opts),
+		"attribute":  class,
+	}
+	out, err := client.CallContext(ctx, endpoint, "classifyInstance", parts)
+	if err != nil {
+		return Metrics{}, err // IsTransient classifies faults vs transport errors
+	}
+	acc, err := strconv.ParseFloat(out["accuracy"], 64)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("experiment: job %s: service %s returned no accuracy: %w", job.ID, endpoint, err)
+	}
+	return Metrics{Accuracy: acc, ErrorRate: 1 - acc}, nil
+}

@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// EventKind labels a scheduler monitoring event.
+type EventKind int
+
+const (
+	// JobStarted fires when an attempt begins.
+	JobStarted EventKind = iota
+	// JobFinished fires on success.
+	JobFinished
+	// JobFailed fires when an attempt fails.
+	JobFailed
+	// JobRetrying fires before the backoff sleep preceding a retry.
+	JobRetrying
+	// JobSkipped fires when a journal hit lets a job be skipped on resume.
+	JobSkipped
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case JobStarted:
+		return "started"
+	case JobFinished:
+		return "finished"
+	case JobFailed:
+		return "failed"
+	case JobRetrying:
+		return "retrying"
+	case JobSkipped:
+		return "skipped"
+	default:
+		return "event"
+	}
+}
+
+// Event is one scheduler progress notification.
+type Event struct {
+	Kind    EventKind
+	Job     Job
+	Attempt int
+	Err     error
+	// Wait is the backoff delay before the next attempt (JobRetrying).
+	Wait time.Duration
+	// Duration is the elapsed attempt time (JobFinished/JobFailed).
+	Duration time.Duration
+}
+
+// Scheduler runs a job set through an executor on a bounded worker pool
+// with per-job timeouts and retry with exponential backoff + jitter on
+// transient errors. The zero value is usable: NumCPU workers, no job
+// timeout, 2 retries, 100ms..5s backoff.
+type Scheduler struct {
+	// Workers bounds concurrent jobs; <=0 means runtime.NumCPU().
+	Workers int
+	// JobTimeout bounds each attempt; 0 means no per-attempt deadline.
+	JobTimeout time.Duration
+	// MaxRetries is the number of re-attempts after a transient failure
+	// (so a job runs at most MaxRetries+1 times). Negative means 0.
+	MaxRetries int
+	// BackoffBase is the first retry delay, doubling each retry up to
+	// BackoffMax; each delay is jittered to 50-150% of its nominal value.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Monitor, when set, receives progress events; it must be safe for
+	// concurrent use.
+	Monitor func(Event)
+}
+
+func (s *Scheduler) emit(ev Event) {
+	if s.Monitor != nil {
+		s.Monitor(ev)
+	}
+}
+
+func (s *Scheduler) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (s *Scheduler) maxAttempts() int {
+	if s.MaxRetries < 0 {
+		return 1
+	}
+	return s.MaxRetries + 1
+}
+
+// backoff returns the jittered delay before retry number attempt (1-based
+// over completed attempts): base<<(attempt-1) capped at max, scaled by a
+// uniform factor in [0.5, 1.5).
+func (s *Scheduler) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := s.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := s.BackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter to de-synchronise workers hammering a recovering service.
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+// Run executes jobs against exec, fanning out over the worker pool. Each
+// job receives the dataset it names from data. When journal is non-nil,
+// jobs with a completed journal record are skipped (their recorded metrics
+// flow into the results) and every newly terminal job is appended, so a
+// killed run resumes where it stopped.
+//
+// Run returns a result per job, sorted by job ID. The error is ctx's
+// error when the run was cancelled; per-job failures are reported in the
+// results, not as a Run error.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job, data map[string]*dataset.Dataset, exec Executor, journal *Journal) ([]JobResult, error) {
+	results := make([]JobResult, 0, len(jobs))
+	var pending []Job
+	for _, job := range jobs {
+		if journal != nil {
+			if rec, ok := journal.Completed(job.ID); ok {
+				res := JobResult{Job: job, Status: StatusSkipped, Attempts: rec.Attempts, Started: rec.Started,
+					Wall: time.Duration(rec.WallMS * float64(time.Millisecond))}
+				if rec.Metrics != nil {
+					res.Metrics = *rec.Metrics
+				}
+				results = append(results, res)
+				s.emit(Event{Kind: JobSkipped, Job: job})
+				continue
+			}
+		}
+		pending = append(pending, job)
+	}
+
+	jobCh := make(chan Job)
+	resCh := make(chan JobResult)
+	workers := s.workers()
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w) + 1))
+		go func(rng *rand.Rand) {
+			defer func() { done <- struct{}{} }()
+			for job := range jobCh {
+				resCh <- s.runJob(ctx, job, data[job.Dataset], exec, rng)
+			}
+		}(rng)
+	}
+	go func() {
+		defer close(jobCh)
+		for _, job := range pending {
+			select {
+			case jobCh <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		close(resCh)
+	}()
+
+	var journalErr error
+	for res := range resCh {
+		if journal != nil {
+			if err := journal.Append(recordOf(res)); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Job.ID < results[j].Job.ID })
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, journalErr
+}
+
+// runJob drives one job through its attempt/backoff cycle.
+func (s *Scheduler) runJob(ctx context.Context, job Job, d *dataset.Dataset, exec Executor, rng *rand.Rand) JobResult {
+	started := time.Now()
+	maxAttempts := s.maxAttempts()
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		attempts = attempt
+		s.emit(Event{Kind: JobStarted, Job: job, Attempt: attempt})
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if s.JobTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, s.JobTimeout)
+		}
+		began := time.Now()
+		m, err := exec.Execute(attemptCtx, job, d)
+		if cancel != nil {
+			cancel()
+		}
+		dur := time.Since(began)
+		if err == nil {
+			s.emit(Event{Kind: JobFinished, Job: job, Attempt: attempt, Duration: dur})
+			return JobResult{Job: job, Status: StatusOK, Attempts: attempt, Metrics: m,
+				Started: started, Wall: time.Since(started)}
+		}
+		lastErr = err
+		s.emit(Event{Kind: JobFailed, Job: job, Attempt: attempt, Err: err, Duration: dur})
+		if ctx.Err() != nil || !IsTransient(err) || attempt == maxAttempts {
+			break
+		}
+		wait := s.backoff(attempt, rng)
+		s.emit(Event{Kind: JobRetrying, Job: job, Attempt: attempt + 1, Wait: wait})
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	errText := ""
+	if lastErr != nil {
+		errText = lastErr.Error()
+	}
+	return JobResult{Job: job, Status: StatusFailed, Attempts: attempts, Err: errText,
+		Started: started, Wall: time.Since(started)}
+}
+
+// recordOf converts a terminal result into its journal record.
+func recordOf(res JobResult) Record {
+	rec := Record{
+		JobID:     res.Job.ID,
+		Task:      res.Job.Task,
+		Algorithm: res.Job.Algorithm,
+		Dataset:   res.Job.Dataset,
+		Status:    res.Status,
+		Attempts:  res.Attempts,
+		Error:     res.Err,
+		Started:   res.Started,
+		WallMS:    float64(res.Wall) / float64(time.Millisecond),
+	}
+	if res.Status == StatusOK {
+		m := res.Metrics
+		rec.Metrics = &m
+	}
+	return rec
+}

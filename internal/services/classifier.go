@@ -3,6 +3,7 @@ package services
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -152,7 +153,10 @@ func trainFromParts(backend harness.Backend, parts map[string]string) (classify.
 		return nil
 	})
 	if err != nil {
-		if f, ok := err.(*soap.Fault); ok {
+		// The backend wraps builder errors, so unwrap to preserve the
+		// original fault code (soap:Client for caller mistakes).
+		var f *soap.Fault
+		if errors.As(err, &f) {
 			return nil, nil, f
 		}
 		return nil, nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
@@ -165,12 +169,15 @@ func trainFromParts(backend harness.Backend, parts map[string]string) (classify.
 // can replay the exact per-invocation work of the service layer.
 func TrainBuilder(name string, opts map[string]string, d *dataset.Dataset) harness.Builder {
 	return func() (classify.Classifier, error) {
+		// An unknown algorithm or bad option is the caller's mistake: fault
+		// it as soap:Client so clients (e.g. the experiment engine's remote
+		// executor) know not to retry.
 		c, err := classify.New(name)
 		if err != nil {
-			return nil, err
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
 		}
 		if err := classify.Configure(c, opts); err != nil {
-			return nil, err
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
 		}
 		if err := c.Train(d); err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -9,28 +10,43 @@ import (
 
 // Client invokes SOAP operations over HTTP.
 type Client struct {
-	// HTTPClient defaults to a client with a 30s timeout.
+	// HTTPClient defaults to a shared pooled client with a 30s timeout.
 	HTTPClient *http.Client
 }
 
 // DefaultClient is the shared client used by Call.
 var DefaultClient = &Client{}
 
+// sharedHTTPClient is the pooled transport used when a Client has no
+// explicit HTTPClient. A single client (rather than one per call) keeps
+// idle connections alive between invocations, so repeated calls to the
+// same service reuse TCP connections instead of re-dialling each time.
+var sharedHTTPClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return sharedHTTPClient
 }
 
-// Call posts an operation envelope to url and returns the response parts.
-// Service-side failures come back as *Fault errors.
-func (c *Client) Call(url, operation string, parts map[string]string) (map[string]string, error) {
+// CallContext posts an operation envelope to url and returns the response
+// parts. The request is bound to ctx, so callers can cancel an in-flight
+// call or impose a deadline. Service-side failures come back as *Fault
+// errors.
+func (c *Client) CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
 	body, err := Marshal(Message{Operation: operation, Parts: parts})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("soap: %w", err)
 	}
@@ -51,7 +67,18 @@ func (c *Client) Call(url, operation string, parts map[string]string) (map[strin
 	return msg.Parts, nil
 }
 
+// Call posts an operation envelope to url and returns the response parts.
+// Service-side failures come back as *Fault errors.
+func (c *Client) Call(url, operation string, parts map[string]string) (map[string]string, error) {
+	return c.CallContext(context.Background(), url, operation, parts)
+}
+
 // Call invokes an operation using the default client.
 func Call(url, operation string, parts map[string]string) (map[string]string, error) {
 	return DefaultClient.Call(url, operation, parts)
+}
+
+// CallContext invokes an operation using the default client under ctx.
+func CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
+	return DefaultClient.CallContext(ctx, url, operation, parts)
 }

@@ -1,0 +1,64 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// blockingUnit waits for cancellation, standing in for a long-running
+// service call.
+type blockingUnit struct{ name string }
+
+func (u blockingUnit) Name() string      { return u.name }
+func (u blockingUnit) Inputs() []string  { return nil }
+func (u blockingUnit) Outputs() []string { return []string{"out"} }
+func (u blockingUnit) Run(ctx context.Context, in Values) (Values, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(30 * time.Second):
+		return Values{"out": "too late"}, nil
+	}
+}
+
+// TestEngineRunCancellation cancels the context mid-run and asserts Run
+// returns promptly with the context error and without leaking the
+// goroutines of in-flight tasks.
+func TestEngineRunCancellation(t *testing.T) {
+	g := NewGraph("cancel")
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := g.Add(id, blockingUnit{name: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewEngine().Run(ctx, g)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Run took %v after cancellation, want prompt return", elapsed)
+	}
+
+	// Every task goroutine must have exited; poll briefly to let the
+	// scheduler reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancellation: %d before, %d after", before, runtime.NumGoroutine())
+}

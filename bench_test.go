@@ -246,7 +246,7 @@ func BenchmarkClassifyRoundtrip(b *testing.B) {
 	url := dep.EndpointURL("Classifier")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := soap.Call(url, "classifyInstance", map[string]string{
+		out, err := soap.CallContext(context.Background(), url, "classifyInstance", map[string]string{
 			"dataset": arffText, "classifier": "J48", "attribute": "Class",
 		})
 		if err != nil {

@@ -95,7 +95,7 @@ func main() {
 			wallE1.Round(time.Millisecond), len(tree), strings.Contains(tree, "node-caps = yes")))
 
 	// E6: protocol verification.
-	out, err := soap.Call(dep.EndpointURL("Classifier"), "getClassifiers", nil)
+	out, err := soap.CallContext(context.Background(), dep.EndpointURL("Classifier"), "getClassifiers", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

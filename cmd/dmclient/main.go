@@ -11,13 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/soap"
 )
@@ -60,10 +64,20 @@ func main() {
 	op := flag.String("op", "", "operation name")
 	regURL := flag.String("registry", "", "registry base URL (for -find)")
 	find := flag.String("find", "", "inquire the registry for services in a category (use with -registry)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-call timeout")
+	logLevel := flag.String("log-level", "warn", "structured log level: debug|info|warn|error|off")
 	parts := partsFlag{}
 	flag.Var(parts, "part", "operation input as name=value (repeatable)")
 	flag.Var(filePartsFlag{parts}, "file", "operation input as name=path, loading the file (repeatable)")
 	flag.Parse()
+
+	if lvl, err := obs.ParseLevel(*logLevel); err != nil {
+		log.Fatalf("dmclient: %v", err)
+	} else {
+		obs.SetDefaultLevel(lvl)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	switch {
 	case *regURL != "":
@@ -76,7 +90,8 @@ func main() {
 			fmt.Printf("%-24s %-20s %s\n", e.Name, e.Category, e.WSDLURL)
 		}
 	case *url != "" && *op != "":
-		out, err := soap.Call(*url, *op, parts)
+		client := soap.NewClient(soap.WithTimeout(*timeout))
+		out, err := client.CallContext(ctx, *url, *op, parts)
 		if err != nil {
 			log.Fatalf("dmclient: %v", err)
 		}

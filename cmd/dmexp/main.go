@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -67,6 +68,9 @@ run/resume flags:
   -endpoints a,b    dispatch to these SOAP classifier endpoints directly
   -resume           skip jobs already completed in the journal
   -v                log per-job scheduler events
+  -trace            print the batch's trace tree (per-job spans and their
+                    SOAP calls) when the run finishes
+  -log-level L      structured log level: debug|info|warn|error|off
 `)
 }
 
@@ -81,7 +85,20 @@ func runCmd(args []string, resumeDefault bool) {
 	endpoints := fs.String("endpoints", "", "comma-separated SOAP classifier endpoints for remote dispatch")
 	resume := fs.Bool("resume", resumeDefault, "skip jobs completed in the journal")
 	verbose := fs.Bool("v", false, "log scheduler events")
+	trace := fs.Bool("trace", false, "collect spans and print the batch's trace tree on completion")
+	logLevel := fs.String("log-level", "", "structured log level: debug|info|warn|error|off (default warn, info with -v)")
 	_ = fs.Parse(args)
+
+	switch {
+	case *logLevel != "":
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		obs.SetDefaultLevel(lvl)
+	case *verbose:
+		obs.SetDefaultLevel(obs.LevelInfo)
+	}
 
 	if *specPath == "" {
 		fatal("dmexp: -spec is required")
@@ -156,9 +173,20 @@ func runCmd(args []string, resumeDefault bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// With -trace, collect every span the batch produces (scheduler jobs,
+	// SOAP client calls) and print the assembled trace tree afterwards.
+	var collector *obs.Collector
+	if *trace {
+		collector = obs.NewCollector()
+		ctx = obs.ContextWithCollector(ctx, collector)
+	}
+
 	fmt.Fprintf(os.Stderr, "dmexp: %s: %d jobs via %s executor\n", spec.Name, len(jobs), exec.Name())
 	began := time.Now()
 	results, err := sched.Run(ctx, jobs, data, exec, journal)
+	if collector != nil {
+		fmt.Fprint(os.Stderr, collector.TreeString())
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmexp: batch interrupted: %v (journal keeps %d records; rerun with -resume)\n",
 			err, journalLen(journal))

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,14 @@ func main() {
 		"instance management strategy: cached (the §4.5 harness) or serialising (naive per-call round trip)")
 	cacheSize := flag.Int("cache", 64, "instance pool bound for the cached backend")
 	storeDir := flag.String("store", "", "model store directory (default: a temp dir; required meaningfully for -backend serialising)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("dmserver: %v", err)
+	}
+	obs.SetDefaultLevel(lvl)
 
 	var backend harness.Backend
 	switch *backendKind {
@@ -56,6 +64,7 @@ func main() {
 	}
 	fmt.Printf("dmserver listening on %s (backend: %s)\n", d.BaseURL, *backendKind)
 	fmt.Printf("registry inquiry: %s/inquiry\n", d.RegistryURL())
+	fmt.Printf("metrics: %s/metrics  health: %s/healthz\n", d.BaseURL, d.BaseURL)
 	for _, name := range d.ServiceNames() {
 		fmt.Printf("  service %-20s %s\n", name, d.WSDLURL(name))
 	}

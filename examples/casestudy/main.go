@@ -62,7 +62,7 @@ func main() {
 
 	// The case study's third service: analyse the decision-tree output.
 	tree, _ := res.Value("classify", "model")
-	analysis, err := soap.Call(dep.EndpointURL("TreeAnalyzer"), "analyze",
+	analysis, err := soap.CallContext(context.Background(), dep.EndpointURL("TreeAnalyzer"), "analyze",
 		map[string]string{"tree": tree})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,13 +24,13 @@ func main() {
 	da := dep.EndpointURL("DataAccess")
 
 	// Discover the relational resources.
-	out, err := soap.Call(da, "listTables", nil)
+	out, err := soap.CallContext(context.Background(), da, "listTables", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("tables: %s\n", strings.ReplaceAll(out["tables"], "\n", ", "))
 
-	out, err = soap.Call(da, "describe", map[string]string{"table": "breast_cancer"})
+	out, err = soap.CallContext(context.Background(), da, "describe", map[string]string{"table": "breast_cancer"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 
 	// Query: tumours with node capsule involvement, projected to the
 	// clinically interesting columns.
-	out, err = soap.Call(da, "query", map[string]string{
+	out, err = soap.CallContext(context.Background(), da, "query", map[string]string{
 		"table":   "breast_cancer",
 		"columns": "age,menopause,deg-malig,irradiat,Class",
 		"where":   "node-caps=yes",
@@ -49,7 +50,7 @@ func main() {
 	fmt.Printf("query node-caps=yes returned %s rows\n", out["rows"])
 
 	// Mine association rules from the query result.
-	rules, err := soap.Call(dep.EndpointURL("AssociationRules"), "mine", map[string]string{
+	rules, err := soap.CallContext(context.Background(), dep.EndpointURL("AssociationRules"), "mine", map[string]string{
 		"dataset":       out["arff"],
 		"minSupport":    "0.15",
 		"minConfidence": "0.85",
@@ -62,11 +63,11 @@ func main() {
 		rules["ruleCount"], rules["rules"])
 
 	// Train a classifier on the full table pulled through the same service.
-	full, err := soap.Call(da, "query", map[string]string{"table": "breast_cancer"})
+	full, err := soap.CallContext(context.Background(), da, "query", map[string]string{"table": "breast_cancer"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := soap.Call(dep.EndpointURL("Classifier"), "classifyInstance", map[string]string{
+	model, err := soap.CallContext(context.Background(), dep.EndpointURL("Classifier"), "classifyInstance", map[string]string{
 		"dataset":    full["arff"],
 		"classifier": "NaiveBayes",
 		"attribute":  "Class",

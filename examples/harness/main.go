@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,7 +55,7 @@ func main() {
 	const calls = 50
 	run := func(dep *core.Deployment, label string) time.Duration {
 		url := dep.EndpointURL("Session")
-		out, err := soap.Call(url, "createSession", map[string]string{
+		out, err := soap.CallContext(context.Background(), url, "createSession", map[string]string{
 			"dataset": trainARFF, "classifier": "J48", "attribute": "Class",
 		})
 		if err != nil {
@@ -63,7 +64,7 @@ func main() {
 		session := out["session"]
 		began := time.Now()
 		for i := 0; i < calls; i++ {
-			if _, err := soap.Call(url, "classify", map[string]string{
+			if _, err := soap.CallContext(context.Background(), url, "classify", map[string]string{
 				"session": session, "instances": probeARFF,
 			}); err != nil {
 				log.Fatal(err)

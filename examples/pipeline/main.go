@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,7 +42,7 @@ func main() {
 	if !ok {
 		log.Fatal("Classifier not registered")
 	}
-	out, err := soap.Call(entry.Endpoint, "getClassifiers", nil)
+	out, err := soap.CallContext(context.Background(), entry.Endpoint, "getClassifiers", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 	trainARFF := arff.Format(train.Clone())
 	var plotPoints strings.Builder
 	for i, name := range candidates {
-		if _, err := soap.Call(entry.Endpoint, "classifyInstance", map[string]string{
+		if _, err := soap.CallContext(context.Background(), entry.Endpoint, "classifyInstance", map[string]string{
 			"dataset": trainARFF, "classifier": name, "attribute": "Class",
 		}); err != nil {
 			log.Fatalf("remote %s: %v", name, err)
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	// Visualise the comparison via the Plot Web Service.
-	plot, err := soap.Call(dep.EndpointURL("Plot"), "plot",
+	plot, err := soap.CallContext(context.Background(), dep.EndpointURL("Plot"), "plot",
 		map[string]string{"points": plotPoints.String()})
 	if err != nil {
 		log.Fatal(err)

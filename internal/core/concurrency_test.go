@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, c := range calls {
-				out, err := soap.Call(d.EndpointURL(c.service), c.op, c.parts)
+				out, err := soap.CallContext(context.Background(), d.EndpointURL(c.service), c.op, c.parts)
 				if err != nil {
 					errs <- err
 					return

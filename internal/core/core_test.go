@@ -199,7 +199,7 @@ func TestDiscoveryPipeline(t *testing.T) {
 	}
 	// Stage 1-2: data selected; algorithm picked from the live service list.
 	url := d.EndpointURL("Classifier")
-	out, err := soap.Call(url, "getClassifiers", nil)
+	out, err := soap.CallContext(context.Background(), url, "getClassifiers", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestDiscoveryPipeline(t *testing.T) {
 		t.Fatalf("registry endpoint %q != %q", entry.Endpoint, url)
 	}
 	// Stage 4: execute remotely on the training share.
-	out, err = soap.Call(entry.Endpoint, "classifyInstance", map[string]string{
+	out, err = soap.CallContext(context.Background(), entry.Endpoint, "classifyInstance", map[string]string{
 		"dataset":    arff.Format(train.Clone()),
 		"classifier": "J48",
 		"attribute":  "Class",

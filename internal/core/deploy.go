@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/services"
 	"repro/internal/workflow"
@@ -45,6 +46,9 @@ func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
 	reg := registry.New()
 	mux := http.NewServeMux()
 	mux.Handle("/registry/", http.StripPrefix("/registry", reg.Handler()))
+	// Observability endpoints: process metrics as JSON and a liveness probe.
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.Handle("/healthz", obs.HealthHandler())
 
 	// The relational resource behind the DataAccess service (the OGSA-DAI
 	// integration of §5.4) ships with the toolkit's embedded datasets.
@@ -83,7 +87,7 @@ func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
 			Category:    s.Category,
 			WSDLURL:     d.WSDLURL(s.Name),
 			Endpoint:    d.EndpointURL(s.Name),
-			Description: "FAEHIM data mining service",
+			Description: s.Description(),
 		}); err != nil {
 			ln.Close()
 			return nil, err

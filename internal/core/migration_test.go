@@ -184,7 +184,7 @@ func TestSerialisingDeploymentServesAllCommonClassifiers(t *testing.T) {
 	t.Cleanup(func() { _ = d.Close() })
 	bc := arff.Format(datagen.BreastCancer())
 	for _, name := range []string{"J48", "NaiveBayes", "ZeroR", "OneR", "IBk", "Prism"} {
-		out, err := soap.Call(d.EndpointURL("Classifier"), "classifyInstance", map[string]string{
+		out, err := soap.CallContext(context.Background(), d.EndpointURL("Classifier"), "classifyInstance", map[string]string{
 			"dataset": bc, "classifier": name, "attribute": "Class",
 		})
 		if err != nil {
@@ -194,7 +194,7 @@ func TestSerialisingDeploymentServesAllCommonClassifiers(t *testing.T) {
 			t.Fatalf("%s: no accuracy", name)
 		}
 		// Second call goes through the on-disk state.
-		if _, err := soap.Call(d.EndpointURL("Classifier"), "classifyInstance", map[string]string{
+		if _, err := soap.CallContext(context.Background(), d.EndpointURL("Classifier"), "classifyInstance", map[string]string{
 			"dataset": bc, "classifier": name, "attribute": "Class",
 		}); err != nil {
 			t.Fatalf("%s second invocation: %v", name, err)

@@ -32,6 +32,9 @@ type JobResult struct {
 	Err      string
 	Started  time.Time
 	Wall     time.Duration
+	// TraceID identifies the obs trace the job's attempts ran under, so a
+	// journal record can be matched to client and server logs.
+	TraceID string
 }
 
 // Executor runs one job against its dataset. Implementations must be safe

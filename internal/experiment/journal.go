@@ -31,6 +31,7 @@ type Record struct {
 	Error     string    `json:"error,omitempty"`
 	Started   time.Time `json:"started"`
 	WallMS    float64   `json:"wallMs"`
+	TraceID   string    `json:"traceId,omitempty"`
 }
 
 // Journal is the append-only JSON-lines checkpoint of a batch. Every

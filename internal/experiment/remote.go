@@ -24,7 +24,7 @@ import (
 // Note the service evaluates on its training data (resubstitution), not by
 // cross-validation; use Local when fold-based estimates matter.
 type Remote struct {
-	// Client is the SOAP client; nil means soap.DefaultClient.
+	// Client overrides the package-level default SOAP client when set.
 	Client *soap.Client
 
 	endpoints []string
@@ -101,17 +101,18 @@ func (r *Remote) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metr
 	if ca := d.ClassAttribute(); ca != nil {
 		class = ca.Name
 	}
-	client := r.Client
-	if client == nil {
-		client = soap.DefaultClient
-	}
 	parts := map[string]string{
 		"dataset":    r.arffText(job.Dataset, d),
 		"classifier": job.Algorithm,
 		"options":    string(opts),
 		"attribute":  class,
 	}
-	out, err := client.CallContext(ctx, endpoint, "classifyInstance", parts)
+	var out map[string]string
+	if r.Client != nil {
+		out, err = r.Client.CallContext(ctx, endpoint, "classifyInstance", parts)
+	} else {
+		out, err = soap.CallContext(ctx, endpoint, "classifyInstance", parts)
+	}
 	if err != nil {
 		return Metrics{}, err // IsTransient classifies faults vs transport errors
 	}

@@ -5,10 +5,14 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
+
+var expLog = obs.L("experiment")
 
 // EventKind labels a scheduler monitoring event.
 type EventKind int
@@ -130,6 +134,10 @@ func (s *Scheduler) backoff(attempt int, rng *rand.Rand) time.Duration {
 // error when the run was cancelled; per-job failures are reported in the
 // results, not as a Run error.
 func (s *Scheduler) Run(ctx context.Context, jobs []Job, data map[string]*dataset.Dataset, exec Executor, journal *Journal) ([]JobResult, error) {
+	// The whole batch shares one trace: every job span, SOAP call and
+	// journal record carries the same trace ID.
+	ctx, _ = obs.EnsureTrace(ctx)
+	expLog.Info(ctx, "run", "jobs", len(jobs), "executor", exec.Name(), "workers", s.workers())
 	results := make([]JobResult, 0, len(jobs))
 	var pending []Job
 	for _, job := range jobs {
@@ -194,10 +202,17 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, data map[string]*datase
 	return results, journalErr
 }
 
-// runJob drives one job through its attempt/backoff cycle.
+// runJob drives one job through its attempt/backoff cycle. Every attempt
+// runs under its own span (child of the batch trace), and the attempt,
+// retry and backoff counts land in obs.Default.
 func (s *Scheduler) runJob(ctx context.Context, job Job, d *dataset.Dataset, exec Executor, rng *rand.Rand) JobResult {
 	started := time.Now()
 	maxAttempts := s.maxAttempts()
+	reg := obs.Default
+	inflight := reg.Gauge("experiment_inflight_jobs")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	tc, _ := obs.TraceFrom(ctx)
 	var lastErr error
 	attempts := 0
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
@@ -206,29 +221,39 @@ func (s *Scheduler) runJob(ctx context.Context, job Job, d *dataset.Dataset, exe
 		}
 		attempts = attempt
 		s.emit(Event{Kind: JobStarted, Job: job, Attempt: attempt})
-		attemptCtx := ctx
+		reg.Counter("experiment_attempts_total", "executor="+exec.Name()).Inc()
+		attemptCtx, span := obs.StartSpan(ctx, "experiment", "job:"+job.ID)
+		span.SetAttr("attempt", strconv.Itoa(attempt))
+		span.SetAttr("executor", exec.Name())
 		var cancel context.CancelFunc
 		if s.JobTimeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, s.JobTimeout)
+			attemptCtx, cancel = context.WithTimeout(attemptCtx, s.JobTimeout)
 		}
 		began := time.Now()
 		m, err := exec.Execute(attemptCtx, job, d)
 		if cancel != nil {
 			cancel()
 		}
+		span.End(err)
 		dur := time.Since(began)
 		if err == nil {
 			s.emit(Event{Kind: JobFinished, Job: job, Attempt: attempt, Duration: dur})
+			reg.Counter("experiment_jobs_total", "status=ok").Inc()
+			expLog.Debug(ctx, "job", "id", job.ID, "attempt", attempt, "status", "ok",
+				"dur_ms", dur.Milliseconds())
 			return JobResult{Job: job, Status: StatusOK, Attempts: attempt, Metrics: m,
-				Started: started, Wall: time.Since(started)}
+				Started: started, Wall: time.Since(started), TraceID: tc.TraceID}
 		}
 		lastErr = err
 		s.emit(Event{Kind: JobFailed, Job: job, Attempt: attempt, Err: err, Duration: dur})
+		expLog.Warn(ctx, "job", "id", job.ID, "attempt", attempt, "err", err)
 		if ctx.Err() != nil || !IsTransient(err) || attempt == maxAttempts {
 			break
 		}
 		wait := s.backoff(attempt, rng)
 		s.emit(Event{Kind: JobRetrying, Job: job, Attempt: attempt + 1, Wait: wait})
+		reg.Counter("experiment_retries_total").Inc()
+		reg.Counter("experiment_backoff_sleeps_total").Inc()
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -241,8 +266,9 @@ func (s *Scheduler) runJob(ctx context.Context, job Job, d *dataset.Dataset, exe
 	if lastErr != nil {
 		errText = lastErr.Error()
 	}
+	reg.Counter("experiment_jobs_total", "status=failed").Inc()
 	return JobResult{Job: job, Status: StatusFailed, Attempts: attempts, Err: errText,
-		Started: started, Wall: time.Since(started)}
+		Started: started, Wall: time.Since(started), TraceID: tc.TraceID}
 }
 
 // recordOf converts a terminal result into its journal record.
@@ -257,6 +283,7 @@ func recordOf(res JobResult) Record {
 		Error:     res.Err,
 		Started:   res.Started,
 		WallMS:    float64(res.Wall) / float64(time.Millisecond),
+		TraceID:   res.TraceID,
 	}
 	if res.Status == StatusOK {
 		m := res.Metrics

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Builder constructs (typically: trains) a fresh algorithm instance. It is
@@ -89,11 +90,21 @@ type CachedBackend struct {
 	MaxEntries int
 	// Overflow, when set, receives evicted instances.
 	Overflow *model.Store
+	// Obs receives the pool's hit/miss/eviction metrics; nil means
+	// obs.Default.
+	Obs *obs.Registry
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
 	calls int64
+}
+
+func (b *CachedBackend) obsReg() *obs.Registry {
+	if b.Obs != nil {
+		return b.Obs
+	}
+	return obs.Default
 }
 
 type cacheItem struct {
@@ -115,10 +126,13 @@ func (b *CachedBackend) Acquire(key string, build Builder) (classify.Classifier,
 		b.ll = list.New()
 		b.items = map[string]*list.Element{}
 	}
+	reg := b.obsReg()
 	if el, ok := b.items[key]; ok {
 		b.ll.MoveToFront(el)
+		reg.Counter("harness_cache_hits_total").Inc()
 		return el.Value.(*cacheItem).c, nil
 	}
+	reg.Counter("harness_cache_misses_total").Inc()
 	// Try the overflow store before building from scratch.
 	var c classify.Classifier
 	if b.Overflow != nil {
@@ -140,12 +154,14 @@ func (b *CachedBackend) Acquire(key string, build Builder) (classify.Classifier,
 		b.ll.Remove(oldest)
 		it := oldest.Value.(*cacheItem)
 		delete(b.items, it.key)
+		reg.Counter("harness_cache_evictions_total").Inc()
 		if b.Overflow != nil {
 			if err := b.Overflow.Save(it.key, it.c); err != nil {
 				return nil, err
 			}
 		}
 	}
+	reg.Gauge("harness_cache_entries").Set(int64(b.ll.Len()))
 	return c, nil
 }
 

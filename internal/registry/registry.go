@@ -13,7 +13,11 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+var regLog = obs.L("registry")
 
 // Entry is one published service.
 type Entry struct {
@@ -46,21 +50,28 @@ func (r *Registry) Publish(e Entry) error {
 		e.Published = time.Now().UTC()
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.entries[e.Name] = e
+	n := len(r.entries)
+	r.mu.Unlock()
+	obs.Default.Counter("registry_publish_total").Inc()
+	obs.Default.Gauge("registry_entries").Set(int64(n))
+	regLog.Info(nil, "publish", "name", e.Name, "category", e.Category)
 	return nil
 }
 
 // Remove deletes a service entry by name.
 func (r *Registry) Remove(name string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	delete(r.entries, name)
+	n := len(r.entries)
+	r.mu.Unlock()
+	obs.Default.Gauge("registry_entries").Set(int64(n))
 }
 
 // Inquire returns entries matching the name substring and/or exact
 // category; empty filters match everything. Results are sorted by name.
 func (r *Registry) Inquire(nameContains, category string) []Entry {
+	obs.Default.Counter("registry_inquiries_total").Inc()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []Entry

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -13,7 +14,6 @@ import (
 	"repro/internal/harness"
 	"repro/internal/soap"
 	"repro/internal/viz"
-	"repro/internal/wsdl"
 )
 
 // NewClassifierService builds the paper's general Classifier Web Service
@@ -32,95 +32,86 @@ import (
 // harness.CachedBackend for the paper's in-memory harness or a
 // SerialisingBackend for the naive deployment.
 func NewClassifierService(backend harness.Backend) *Service {
-	ep := soap.NewEndpoint("Classifier")
-	ep.Handle("getClassifiers", func(parts map[string]string) (map[string]string, error) {
-		return map[string]string{"classifiers": strings.Join(classify.Names(), "\n")}, nil
-	})
-	ep.Handle("getOptions", func(parts map[string]string) (map[string]string, error) {
-		name, err := require(parts, "classifier")
-		if err != nil {
-			return nil, err
-		}
-		opts, err := classify.OptionsFor(name)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-		}
-		js, err := optionsJSON(opts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{"options": js}, nil
-	})
-	ep.Handle("classifyInstance", func(parts map[string]string) (map[string]string, error) {
-		c, d, err := trainFromParts(backend, parts)
-		if err != nil {
-			return nil, err
-		}
-		out := map[string]string{}
-		out["model"] = modelText(c)
-		ev, err := classify.NewEvaluation(d)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		if err := ev.TestModel(c, d); err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		out["evaluation"] = ev.String()
-		out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
-		return out, nil
-	})
-	ep.Handle("classifyGraph", func(parts map[string]string) (map[string]string, error) {
-		c, _, err := trainFromParts(backend, parts)
-		if err != nil {
-			return nil, err
-		}
-		type treer interface{ Tree() *classify.TreeNode }
-		t, ok := c.(treer)
-		if !ok || t.Tree() == nil {
-			return nil, &soap.Fault{Code: "soap:Client",
-				String: fmt.Sprintf("classifier %s does not produce a decision tree", c.Name())}
-		}
-		return map[string]string{"graph": viz.TreeDOT(t.Tree())}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Classifier",
+		Version:  "1.1",
 		Category: "classifier",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Classifier",
-			Ops: []wsdl.Operation{
-				{
-					Name:    "getClassifiers",
-					Doc:     "List the classification algorithms known to the service.",
-					Outputs: []wsdl.Part{{Name: "classifiers"}},
+		Doc:      "General classifier wrapper: train any registered algorithm on an ARFF dataset (§4.1).",
+		Ops: []Op{
+			{
+				Name: "getClassifiers",
+				Doc:  "List the classification algorithms known to the service.",
+				Out:  []string{"classifiers"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					return map[string]string{"classifiers": strings.Join(classify.Names(), "\n")}, nil
 				},
-				{
-					Name:    "getOptions",
-					Doc:     "Describe the run-time options of a classifier.",
-					Inputs:  []wsdl.Part{{Name: "classifier"}},
-					Outputs: []wsdl.Part{{Name: "options"}},
+			},
+			{
+				Name: "getOptions",
+				Doc:  "Describe the run-time options of a classifier.",
+				In:   []string{"classifier"},
+				Out:  []string{"options"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					name, err := require(parts, "classifier")
+					if err != nil {
+						return nil, err
+					}
+					opts, err := classify.OptionsFor(name)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					js, err := optionsJSON(opts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{"options": js}, nil
 				},
-				{
-					Name: "classifyInstance",
-					Doc:  "Train the named classifier on an ARFF dataset and return the model and its evaluation.",
-					Inputs: []wsdl.Part{
-						{Name: "dataset"}, {Name: "classifier"},
-						{Name: "options"}, {Name: "attribute"},
-					},
-					Outputs: []wsdl.Part{{Name: "model"}, {Name: "evaluation"}, {Name: "accuracy"}},
+			},
+			{
+				Name: "classifyInstance",
+				Doc:  "Train the named classifier on an ARFF dataset and return the model and its evaluation.",
+				In:   []string{"dataset", "classifier", "options", "attribute"},
+				Out:  []string{"model", "evaluation", "accuracy"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					c, d, err := trainFromParts(backend, parts)
+					if err != nil {
+						return nil, err
+					}
+					out := map[string]string{}
+					out["model"] = modelText(c)
+					ev, err := classify.NewEvaluation(d)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					if err := ev.TestModel(c, d); err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					out["evaluation"] = ev.String()
+					out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
+					return out, nil
 				},
-				{
-					Name: "classifyGraph",
-					Doc:  "Like classifyInstance but returns the decision tree as a DOT graph.",
-					Inputs: []wsdl.Part{
-						{Name: "dataset"}, {Name: "classifier"},
-						{Name: "options"}, {Name: "attribute"},
-					},
-					Outputs: []wsdl.Part{{Name: "graph"}},
+			},
+			{
+				Name: "classifyGraph",
+				Doc:  "Like classifyInstance but returns the decision tree as a DOT graph.",
+				In:   []string{"dataset", "classifier", "options", "attribute"},
+				Out:  []string{"graph"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					c, _, err := trainFromParts(backend, parts)
+					if err != nil {
+						return nil, err
+					}
+					type treer interface{ Tree() *classify.TreeNode }
+					t, ok := c.(treer)
+					if !ok || t.Tree() == nil {
+						return nil, &soap.Fault{Code: "soap:Client",
+							String: fmt.Sprintf("classifier %s does not produce a decision tree", c.Name())}
+					}
+					return map[string]string{"graph": viz.TreeDOT(t.Tree())}, nil
 				},
 			},
 		},
-	}
+	})
 }
 
 // trainFromParts resolves the four classifyInstance inputs (dataset,

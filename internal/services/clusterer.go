@@ -1,13 +1,13 @@
 package services
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/soap"
 	"repro/internal/viz"
-	"repro/internal/wsdl"
 )
 
 // NewClustererService builds the general Clustering Web Service (§4.1 names
@@ -17,96 +17,103 @@ import (
 //	getOptions(clusterer)              -> JSON option descriptors
 //	cluster(dataset, clusterer, options) -> textual clustering summary
 func NewClustererService() *Service {
-	ep := soap.NewEndpoint("Clusterer")
-	ep.Handle("getClusterers", func(parts map[string]string) (map[string]string, error) {
-		return map[string]string{"clusterers": strings.Join(cluster.Names(), "\n")}, nil
-	})
-	ep.Handle("getOptions", func(parts map[string]string) (map[string]string, error) {
-		name, err := require(parts, "clusterer")
-		if err != nil {
-			return nil, err
-		}
-		c, err := cluster.New(name)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-		}
-		var opts []cluster.Option
-		if p, ok := c.(cluster.Parameterized); ok {
-			opts = p.Options()
-		}
-		js, err := optionsJSON(opts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{"options": js}, nil
-	})
-	ep.Handle("cluster", func(parts map[string]string) (map[string]string, error) {
-		d, err := parseDataset(parts, "dataset")
-		if err != nil {
-			return nil, err
-		}
-		name, err := require(parts, "clusterer")
-		if err != nil {
-			return nil, err
-		}
-		c, err := cluster.New(name)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-		}
-		opts, err := parseOptions(parts, "options")
-		if err != nil {
-			return nil, err
-		}
-		if len(opts) > 0 {
-			p, ok := c.(cluster.Parameterized)
-			if !ok {
-				return nil, &soap.Fault{Code: "soap:Client",
-					String: fmt.Sprintf("clusterer %s accepts no options", name)}
-			}
-			for k, v := range opts {
-				if err := p.SetOption(k, v); err != nil {
-					return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-				}
-			}
-		}
-		if err := c.Build(d); err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		assign, err := cluster.Assignments(c, d)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "%s: %d clusters over %d instances\n\n", name, c.NumClusters(), d.NumInstances())
-		b.WriteString(viz.ClusterSummary(assign, maxAssign(assign)+1))
-		out := map[string]string{
-			"summary":  b.String(),
-			"clusters": fmt.Sprintf("%d", c.NumClusters()),
-		}
-		// Internal quality measure when the data is numeric and clustered
-		// into at least two groups.
-		if sil, err := cluster.Silhouette(d, assign, c.NumClusters()); err == nil {
-			out["silhouette"] = fmt.Sprintf("%.4f", sil)
-		}
-		return out, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Clusterer",
+		Version:  "1.1",
 		Category: "clustering",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Clusterer",
-			Ops: []wsdl.Operation{
-				{Name: "getClusterers", Doc: "List the clustering algorithms known to the service.",
-					Outputs: []wsdl.Part{{Name: "clusterers"}}},
-				{Name: "getOptions", Doc: "Describe the run-time options of a clusterer.",
-					Inputs: []wsdl.Part{{Name: "clusterer"}}, Outputs: []wsdl.Part{{Name: "options"}}},
-				{Name: "cluster", Doc: "Apply the named clustering algorithm to an ARFF dataset.",
-					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "clusterer"}, {Name: "options"}},
-					Outputs: []wsdl.Part{{Name: "summary"}, {Name: "clusters"}, {Name: "silhouette"}}},
+		Doc:      "General clustering wrapper: apply any registered clusterer to an ARFF dataset (§4.1).",
+		Ops: []Op{
+			{
+				Name: "getClusterers",
+				Doc:  "List the clustering algorithms known to the service.",
+				Out:  []string{"clusterers"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					return map[string]string{"clusterers": strings.Join(cluster.Names(), "\n")}, nil
+				},
+			},
+			{
+				Name: "getOptions",
+				Doc:  "Describe the run-time options of a clusterer.",
+				In:   []string{"clusterer"},
+				Out:  []string{"options"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					name, err := require(parts, "clusterer")
+					if err != nil {
+						return nil, err
+					}
+					c, err := cluster.New(name)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					var opts []cluster.Option
+					if p, ok := c.(cluster.Parameterized); ok {
+						opts = p.Options()
+					}
+					js, err := optionsJSON(opts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{"options": js}, nil
+				},
+			},
+			{
+				Name: "cluster",
+				Doc:  "Apply the named clustering algorithm to an ARFF dataset.",
+				In:   []string{"dataset", "clusterer", "options"},
+				Out:  []string{"summary", "clusters", "silhouette"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					d, err := parseDataset(parts, "dataset")
+					if err != nil {
+						return nil, err
+					}
+					name, err := require(parts, "clusterer")
+					if err != nil {
+						return nil, err
+					}
+					c, err := cluster.New(name)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					opts, err := parseOptions(parts, "options")
+					if err != nil {
+						return nil, err
+					}
+					if len(opts) > 0 {
+						p, ok := c.(cluster.Parameterized)
+						if !ok {
+							return nil, &soap.Fault{Code: "soap:Client",
+								String: fmt.Sprintf("clusterer %s accepts no options", name)}
+						}
+						for k, v := range opts {
+							if err := p.SetOption(k, v); err != nil {
+								return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+							}
+						}
+					}
+					if err := c.Build(d); err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					assign, err := cluster.Assignments(c, d)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					var b strings.Builder
+					fmt.Fprintf(&b, "%s: %d clusters over %d instances\n\n", name, c.NumClusters(), d.NumInstances())
+					b.WriteString(viz.ClusterSummary(assign, maxAssign(assign)+1))
+					out := map[string]string{
+						"summary":  b.String(),
+						"clusters": fmt.Sprintf("%d", c.NumClusters()),
+					}
+					// Internal quality measure when the data is numeric and
+					// clustered into at least two groups.
+					if sil, err := cluster.Silhouette(d, assign, c.NumClusters()); err == nil {
+						out["silhouette"] = fmt.Sprintf("%.4f", sil)
+					}
+					return out, nil
+				},
 			},
 		},
-	}
+	})
 }
 
 func maxAssign(assign []int) int {
@@ -125,7 +132,6 @@ func maxAssign(assign []int) int {
 //	getCobwebGraph(dataset, options) -> the concept hierarchy (indented text
 //	                                    plus DOT) for the tree plotter
 func NewCobwebService() *Service {
-	ep := soap.NewEndpoint("Cobweb")
 	build := func(parts map[string]string) (*cluster.Cobweb, error) {
 		d, err := parseDataset(parts, "dataset")
 		if err != nil {
@@ -146,40 +152,44 @@ func NewCobwebService() *Service {
 		}
 		return cw, nil
 	}
-	ep.Handle("cluster", func(parts map[string]string) (map[string]string, error) {
-		cw, err := build(parts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{
-			"summary":  fmt.Sprintf("Cobweb: %d leaf concepts\n\n%s", cw.NumClusters(), cw.GraphString()),
-			"clusters": fmt.Sprintf("%d", cw.NumClusters()),
-		}, nil
-	})
-	ep.Handle("getCobwebGraph", func(parts map[string]string) (map[string]string, error) {
-		cw, err := build(parts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{
-			"graph": viz.CobwebDOT(cw.Root()),
-			"text":  cw.GraphString(),
-		}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Cobweb",
+		Version:  "1.1",
 		Category: "clustering",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Cobweb",
-			Ops: []wsdl.Operation{
-				{Name: "cluster", Doc: "Apply the Cobweb algorithm to an ARFF dataset; returns a textual result.",
-					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}},
-					Outputs: []wsdl.Part{{Name: "summary"}, {Name: "clusters"}}},
-				{Name: "getCobwebGraph", Doc: "Return the Cobweb concept hierarchy for plotting.",
-					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}},
-					Outputs: []wsdl.Part{{Name: "graph"}, {Name: "text"}}},
+		Doc:      "Dedicated Cobweb conceptual-clustering service with concept-hierarchy output (§4.1).",
+		Ops: []Op{
+			{
+				Name: "cluster",
+				Doc:  "Apply the Cobweb algorithm to an ARFF dataset; returns a textual result.",
+				In:   []string{"dataset", "options"},
+				Out:  []string{"summary", "clusters"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					cw, err := build(parts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{
+						"summary":  fmt.Sprintf("Cobweb: %d leaf concepts\n\n%s", cw.NumClusters(), cw.GraphString()),
+						"clusters": fmt.Sprintf("%d", cw.NumClusters()),
+					}, nil
+				},
+			},
+			{
+				Name: "getCobwebGraph",
+				Doc:  "Return the Cobweb concept hierarchy for plotting.",
+				In:   []string{"dataset", "options"},
+				Out:  []string{"graph", "text"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					cw, err := build(parts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{
+						"graph": viz.CobwebDOT(cw.Root()),
+						"text":  cw.GraphString(),
+					}, nil
+				},
 			},
 		},
-	}
+	})
 }

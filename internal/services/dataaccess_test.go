@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,21 +23,21 @@ func dataAccessService(t *testing.T) string {
 func TestDataAccessServiceOperations(t *testing.T) {
 	base := dataAccessService(t)
 	url := base + "/services/DataAccess"
-	out, err := soap.Call(url, "listTables", nil)
+	out, err := soap.CallContext(context.Background(), url, "listTables", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out["tables"] != "breast_cancer" {
 		t.Fatalf("tables = %q", out["tables"])
 	}
-	out, err = soap.Call(url, "describe", map[string]string{"table": "breast_cancer"})
+	out, err = soap.CallContext(context.Background(), url, "describe", map[string]string{"table": "breast_cancer"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["schema"], "@attribute node-caps {yes,no}") {
 		t.Fatalf("schema:\n%s", out["schema"])
 	}
-	out, err = soap.Call(url, "query", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "query", map[string]string{
 		"table": "breast_cancer",
 		"where": "node-caps=yes",
 		"limit": "20",
@@ -58,7 +59,7 @@ func TestDataAccessServiceOperations(t *testing.T) {
 		{"table": "breast_cancer", "limit": "-1"},
 		{"table": "breast_cancer", "columns": "nope"},
 	} {
-		if _, err := soap.Call(url, "query", parts); err == nil {
+		if _, err := soap.CallContext(context.Background(), url, "query", parts); err == nil {
 			t.Errorf("query %v accepted", parts)
 		}
 	}
@@ -69,14 +70,14 @@ func TestDataAccessServiceOperations(t *testing.T) {
 // the general Classifier service.
 func TestDataAccessFeedsClassifier(t *testing.T) {
 	base := dataAccessService(t)
-	out, err := soap.Call(base+"/services/DataAccess", "query", map[string]string{
+	out, err := soap.CallContext(context.Background(), base+"/services/DataAccess", "query", map[string]string{
 		"table":   "breast_cancer",
 		"columns": "node-caps,deg-malig,irradiat,Class",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := soap.Call(base+"/services/Classifier", "classifyInstance", map[string]string{
+	res, err := soap.CallContext(context.Background(), base+"/services/Classifier", "classifyInstance", map[string]string{
 		"dataset":    out["arff"],
 		"classifier": "J48",
 		"attribute":  "Class",

@@ -1,13 +1,13 @@
 package services
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
 	"repro/internal/arff"
 	"repro/internal/filter"
 	"repro/internal/soap"
-	"repro/internal/wsdl"
 )
 
 // NewFilterService exposes the dataset-manipulation filters over SOAP,
@@ -19,85 +19,87 @@ import (
 // Filter options: Discretize takes bins and equalFrequency; Remove/Keep
 // take a comma-separated attributes list.
 func NewFilterService() *Service {
-	ep := soap.NewEndpoint("Filter")
 	names := []string{"Discretize", "Normalize", "Standardize", "ReplaceMissingValues", "Remove", "Keep"}
-	ep.Handle("getFilters", func(parts map[string]string) (map[string]string, error) {
-		return map[string]string{"filters": strings.Join(names, "\n")}, nil
-	})
-	ep.Handle("apply", func(parts map[string]string) (map[string]string, error) {
-		d, err := parseDataset(parts, "dataset")
-		if err != nil {
-			return nil, err
-		}
-		name, err := require(parts, "filter")
-		if err != nil {
-			return nil, err
-		}
-		var f filter.Filter
-		switch name {
-		case "Discretize":
-			disc := &filter.Discretize{Bins: 10}
-			if v := strings.TrimSpace(parts["bins"]); v != "" {
-				n, err := strconv.Atoi(v)
-				if err != nil || n < 2 {
-					return nil, &soap.Fault{Code: "soap:Client", String: "bins must be an integer >= 2"}
-				}
-				disc.Bins = n
-			}
-			if v := strings.TrimSpace(parts["equalFrequency"]); v != "" {
-				b, err := strconv.ParseBool(v)
-				if err != nil {
-					return nil, &soap.Fault{Code: "soap:Client", String: "equalFrequency must be boolean"}
-				}
-				disc.EqualFrequency = b
-			}
-			f = disc
-		case "Normalize":
-			f = filter.Normalize{}
-		case "Standardize":
-			f = filter.Standardize{}
-		case "ReplaceMissingValues":
-			f = filter.ReplaceMissing{}
-		case "Remove", "Keep":
-			var attrs []string
-			for _, a := range strings.Split(parts["attributes"], ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					attrs = append(attrs, a)
-				}
-			}
-			if len(attrs) == 0 {
-				return nil, &soap.Fault{Code: "soap:Client",
-					String: name + " needs a comma-separated attributes part"}
-			}
-			if name == "Remove" {
-				f = filter.RemoveAttributes{Names: attrs}
-			} else {
-				f = filter.KeepAttributes{Names: attrs}
-			}
-		default:
-			return nil, &soap.Fault{Code: "soap:Client",
-				String: "unknown filter " + name + " (known: " + strings.Join(names, ", ") + ")"}
-		}
-		out, err := f.Apply(d)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-		}
-		return map[string]string{"arff": arff.Format(out)}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Filter",
+		Version:  "1.1",
 		Category: "data-manipulation",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Filter",
-			Ops: []wsdl.Operation{
-				{Name: "getFilters", Doc: "List the dataset filters available.",
-					Outputs: []wsdl.Part{{Name: "filters"}}},
-				{Name: "apply", Doc: "Apply a dataset filter and return the transformed ARFF.",
-					Inputs: []wsdl.Part{{Name: "dataset"}, {Name: "filter"}, {Name: "bins"},
-						{Name: "equalFrequency"}, {Name: "attributes"}},
-					Outputs: []wsdl.Part{{Name: "arff"}}},
+		Doc:      "Dataset filters (discretize, normalise, standardise, missing-value replacement, attribute removal).",
+		Ops: []Op{
+			{
+				Name: "getFilters",
+				Doc:  "List the dataset filters available.",
+				Out:  []string{"filters"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					return map[string]string{"filters": strings.Join(names, "\n")}, nil
+				},
+			},
+			{
+				Name: "apply",
+				Doc:  "Apply a dataset filter and return the transformed ARFF.",
+				In:   []string{"dataset", "filter", "bins", "equalFrequency", "attributes"},
+				Out:  []string{"arff"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					d, err := parseDataset(parts, "dataset")
+					if err != nil {
+						return nil, err
+					}
+					name, err := require(parts, "filter")
+					if err != nil {
+						return nil, err
+					}
+					var f filter.Filter
+					switch name {
+					case "Discretize":
+						disc := &filter.Discretize{Bins: 10}
+						if v := strings.TrimSpace(parts["bins"]); v != "" {
+							n, err := strconv.Atoi(v)
+							if err != nil || n < 2 {
+								return nil, &soap.Fault{Code: "soap:Client", String: "bins must be an integer >= 2"}
+							}
+							disc.Bins = n
+						}
+						if v := strings.TrimSpace(parts["equalFrequency"]); v != "" {
+							b, err := strconv.ParseBool(v)
+							if err != nil {
+								return nil, &soap.Fault{Code: "soap:Client", String: "equalFrequency must be boolean"}
+							}
+							disc.EqualFrequency = b
+						}
+						f = disc
+					case "Normalize":
+						f = filter.Normalize{}
+					case "Standardize":
+						f = filter.Standardize{}
+					case "ReplaceMissingValues":
+						f = filter.ReplaceMissing{}
+					case "Remove", "Keep":
+						var attrs []string
+						for _, a := range strings.Split(parts["attributes"], ",") {
+							if a = strings.TrimSpace(a); a != "" {
+								attrs = append(attrs, a)
+							}
+						}
+						if len(attrs) == 0 {
+							return nil, &soap.Fault{Code: "soap:Client",
+								String: name + " needs a comma-separated attributes part"}
+						}
+						if name == "Remove" {
+							f = filter.RemoveAttributes{Names: attrs}
+						} else {
+							f = filter.KeepAttributes{Names: attrs}
+						}
+					default:
+						return nil, &soap.Fault{Code: "soap:Client",
+							String: "unknown filter " + name + " (known: " + strings.Join(names, ", ") + ")"}
+					}
+					out, err := f.Apply(d)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					return map[string]string{"arff": arff.Format(out)}, nil
+				},
 			},
 		},
-	}
+	})
 }

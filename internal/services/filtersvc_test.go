@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestFilterService(t *testing.T) {
 	base := hostServices(t, NewFilterService())
 	url := base + "/services/Filter"
-	out, err := soap.Call(url, "getFilters", nil)
+	out, err := soap.CallContext(context.Background(), url, "getFilters", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestFilterService(t *testing.T) {
 	weather := arff.Format(datagen.WeatherNumeric())
 
 	// Discretize.
-	out, err = soap.Call(url, "apply", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "apply", map[string]string{
 		"dataset": weather, "filter": "Discretize", "bins": "3",
 	})
 	if err != nil {
@@ -37,7 +38,7 @@ func TestFilterService(t *testing.T) {
 	}
 
 	// Normalize leaves the schema numeric.
-	out, err = soap.Call(url, "apply", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "apply", map[string]string{
 		"dataset": weather, "filter": "Normalize",
 	})
 	if err != nil {
@@ -52,7 +53,7 @@ func TestFilterService(t *testing.T) {
 	}
 
 	// Keep projects columns.
-	out, err = soap.Call(url, "apply", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "apply", map[string]string{
 		"dataset": weather, "filter": "Keep", "attributes": "outlook,play",
 	})
 	if err != nil {
@@ -67,7 +68,7 @@ func TestFilterService(t *testing.T) {
 	}
 
 	// ReplaceMissingValues clears the breast-cancer gaps.
-	out, err = soap.Call(url, "apply", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "apply", map[string]string{
 		"dataset": arff.Format(datagen.BreastCancer()), "filter": "ReplaceMissingValues",
 	})
 	if err != nil {
@@ -88,7 +89,7 @@ func TestFilterService(t *testing.T) {
 		{"dataset": weather, "filter": "Remove"},
 		{"dataset": weather, "filter": "Remove", "attributes": "play"}, // class removal
 	} {
-		if _, err := soap.Call(url, "apply", parts); err == nil {
+		if _, err := soap.CallContext(context.Background(), url, "apply", parts); err == nil {
 			t.Errorf("apply %v accepted", parts)
 		}
 	}

@@ -1,11 +1,12 @@
 package services
 
 import (
+	"context"
+
 	"repro/internal/classify"
 	"repro/internal/harness"
 	"repro/internal/soap"
 	"repro/internal/viz"
-	"repro/internal/wsdl"
 )
 
 // NewJ48Service builds the dedicated J48 Web Service of §4.1, "a decision
@@ -15,7 +16,6 @@ import (
 //	classify(dataset, options, attribute)      -> textual decision tree
 //	classifyGraph(dataset, options, attribute) -> DOT decision tree
 func NewJ48Service(backend harness.Backend) *Service {
-	ep := soap.NewEndpoint("J48")
 	train := func(parts map[string]string) (*classify.J48, error) {
 		parts2 := map[string]string{
 			"dataset":    parts["dataset"],
@@ -33,40 +33,38 @@ func NewJ48Service(backend harness.Backend) *Service {
 		}
 		return j, nil
 	}
-	ep.Handle("classify", func(parts map[string]string) (map[string]string, error) {
-		j, err := train(parts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{"tree": j.String()}, nil
-	})
-	ep.Handle("classifyGraph", func(parts map[string]string) (map[string]string, error) {
-		j, err := train(parts)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]string{"graph": viz.TreeDOT(j.Tree())}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "J48",
+		Version:  "1.1",
 		Category: "classifier",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "J48",
-			Ops: []wsdl.Operation{
-				{
-					Name:    "classify",
-					Doc:     "Apply the C4.5 (J48) algorithm to an ARFF dataset; returns the textual decision tree.",
-					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}, {Name: "attribute"}},
-					Outputs: []wsdl.Part{{Name: "tree"}},
+		Doc:      "Dedicated C4.5 (J48) decision-tree classifier service (§4.1).",
+		Ops: []Op{
+			{
+				Name: "classify",
+				Doc:  "Apply the C4.5 (J48) algorithm to an ARFF dataset; returns the textual decision tree.",
+				In:   []string{"dataset", "options", "attribute"},
+				Out:  []string{"tree"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					j, err := train(parts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{"tree": j.String()}, nil
 				},
-				{
-					Name:    "classifyGraph",
-					Doc:     "Like classify but returns a graphical (DOT) representation of the decision tree.",
-					Inputs:  []wsdl.Part{{Name: "dataset"}, {Name: "options"}, {Name: "attribute"}},
-					Outputs: []wsdl.Part{{Name: "graph"}},
+			},
+			{
+				Name: "classifyGraph",
+				Doc:  "Like classify but returns a graphical (DOT) representation of the decision tree.",
+				In:   []string{"dataset", "options", "attribute"},
+				Out:  []string{"graph"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					j, err := train(parts)
+					if err != nil {
+						return nil, err
+					}
+					return map[string]string{"graph": viz.TreeDOT(j.Tree())}, nil
 				},
 			},
 		},
-	}
+	})
 }

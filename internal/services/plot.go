@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"encoding/base64"
 	"fmt"
 	"strconv"
@@ -8,7 +9,6 @@ import (
 
 	"repro/internal/soap"
 	"repro/internal/viz"
-	"repro/internal/wsdl"
 )
 
 // parseXYSeries reads "x,y" lines into a viz.Series.
@@ -46,53 +46,57 @@ func parseXYSeries(text, name string) (viz.Series, error) {
 //	plot(points)     -> ASCII plot (GNUPlot "dumb terminal" style)
 //	plotPNG(points, kind) -> base64 PNG (scatter or line)
 func NewPlotService() *Service {
-	ep := soap.NewEndpoint("Plot")
-	ep.Handle("plot", func(parts map[string]string) (map[string]string, error) {
-		text, err := require(parts, "points")
-		if err != nil {
-			return nil, err
-		}
-		s, err := parseXYSeries(text, "data")
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: "malformed points", Detail: err.Error()}
-		}
-		return map[string]string{"plot": viz.AsciiPlot(64, 20, s)}, nil
-	})
-	ep.Handle("plotPNG", func(parts map[string]string) (map[string]string, error) {
-		text, err := require(parts, "points")
-		if err != nil {
-			return nil, err
-		}
-		s, err := parseXYSeries(text, "data")
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: "malformed points", Detail: err.Error()}
-		}
-		var png []byte
-		if strings.TrimSpace(parts["kind"]) == "line" {
-			png, err = viz.LinePNG(640, 480, s)
-		} else {
-			png, err = viz.ScatterPNG(640, 480, s)
-		}
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		return map[string]string{"image": base64.StdEncoding.EncodeToString(png)}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Plot",
+		Version:  "1.1",
 		Category: "visualisation",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Plot",
-			Ops: []wsdl.Operation{
-				{Name: "plot", Doc: "Plot x,y points as ASCII art (GNUPlot dumb-terminal style).",
-					Inputs: []wsdl.Part{{Name: "points"}}, Outputs: []wsdl.Part{{Name: "plot"}}},
-				{Name: "plotPNG", Doc: "Plot x,y points as a PNG image (scatter or line).",
-					Inputs:  []wsdl.Part{{Name: "points"}, {Name: "kind"}},
-					Outputs: []wsdl.Part{{Name: "image", Type: "base64Binary"}}},
+		Doc:      "GNUPlot-substitute plotting: ASCII and PNG renderings of x,y point series (§1).",
+		Ops: []Op{
+			{
+				Name: "plot",
+				Doc:  "Plot x,y points as ASCII art (GNUPlot dumb-terminal style).",
+				In:   []string{"points"},
+				Out:  []string{"plot"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					text, err := require(parts, "points")
+					if err != nil {
+						return nil, err
+					}
+					s, err := parseXYSeries(text, "data")
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: "malformed points", Detail: err.Error()}
+					}
+					return map[string]string{"plot": viz.AsciiPlot(64, 20, s)}, nil
+				},
+			},
+			{
+				Name: "plotPNG",
+				Doc:  "Plot x,y points as a PNG image (scatter or line).",
+				In:   []string{"points", "kind"},
+				Out:  []string{"image"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					text, err := require(parts, "points")
+					if err != nil {
+						return nil, err
+					}
+					s, err := parseXYSeries(text, "data")
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: "malformed points", Detail: err.Error()}
+					}
+					var png []byte
+					if strings.TrimSpace(parts["kind"]) == "line" {
+						png, err = viz.LinePNG(640, 480, s)
+					} else {
+						png, err = viz.ScatterPNG(640, 480, s)
+					}
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return map[string]string{"image": base64.StdEncoding.EncodeToString(png)}, nil
+				},
 			},
 		},
-	}
+	})
 }
 
 // NewMathService builds the Mathematica-substitute Web Service of §4.2,
@@ -100,52 +104,51 @@ func NewPlotService() *Service {
 // CSV file in three dimension and return the plotted graph as an image file
 // (PNG format)".
 func NewMathService() *Service {
-	ep := soap.NewEndpoint("Math")
-	ep.Handle("plot3D", func(parts map[string]string) (map[string]string, error) {
-		text, err := require(parts, "points")
-		if err != nil {
-			return nil, err
-		}
-		var pts []viz.Point3D
-		for ln, line := range strings.Split(text, "\n") {
-			line = strings.TrimSpace(line)
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			cells := strings.Split(line, ",")
-			if len(cells) < 3 {
-				return nil, &soap.Fault{Code: "soap:Client",
-					String: fmt.Sprintf("points line %d: want x,y,z", ln+1)}
-			}
-			var xyz [3]float64
-			for i := 0; i < 3; i++ {
-				v, err := strconv.ParseFloat(strings.TrimSpace(cells[i]), 64)
-				if err != nil {
-					return nil, &soap.Fault{Code: "soap:Client",
-						String: fmt.Sprintf("points line %d: %v", ln+1, err)}
-				}
-				xyz[i] = v
-			}
-			pts = append(pts, viz.Point3D{X: xyz[0], Y: xyz[1], Z: xyz[2]})
-		}
-		png, err := viz.Plot3DPNG(640, 480, pts)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		return map[string]string{"image": base64.StdEncoding.EncodeToString(png)}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Math",
+		Version:  "1.1",
 		Category: "visualisation",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Math",
-			Ops: []wsdl.Operation{{
-				Name:    "plot3D",
-				Doc:     "Plot x,y,z CSV points in three dimensions; returns a PNG image.",
-				Inputs:  []wsdl.Part{{Name: "points"}},
-				Outputs: []wsdl.Part{{Name: "image", Type: "base64Binary"}},
-			}},
+		Doc:      "Mathematica-substitute service: 3D plotting of CSV point clouds as PNG (§4.2).",
+		Ops: []Op{
+			{
+				Name: "plot3D",
+				Doc:  "Plot x,y,z CSV points in three dimensions; returns a PNG image.",
+				In:   []string{"points"},
+				Out:  []string{"image"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					text, err := require(parts, "points")
+					if err != nil {
+						return nil, err
+					}
+					var pts []viz.Point3D
+					for ln, line := range strings.Split(text, "\n") {
+						line = strings.TrimSpace(line)
+						if line == "" || strings.HasPrefix(line, "#") {
+							continue
+						}
+						cells := strings.Split(line, ",")
+						if len(cells) < 3 {
+							return nil, &soap.Fault{Code: "soap:Client",
+								String: fmt.Sprintf("points line %d: want x,y,z", ln+1)}
+						}
+						var xyz [3]float64
+						for i := 0; i < 3; i++ {
+							v, err := strconv.ParseFloat(strings.TrimSpace(cells[i]), 64)
+							if err != nil {
+								return nil, &soap.Fault{Code: "soap:Client",
+									String: fmt.Sprintf("points line %d: %v", ln+1, err)}
+							}
+							xyz[i] = v
+						}
+						pts = append(pts, viz.Point3D{X: xyz[0], Y: xyz[1], Z: xyz[2]})
+					}
+					png, err := viz.Plot3DPNG(640, 480, pts)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return map[string]string{"image": base64.StdEncoding.EncodeToString(png)}, nil
+				},
+			},
 		},
-	}
+	})
 }

@@ -24,12 +24,89 @@ import (
 	"repro/internal/wsdl"
 )
 
-// Service bundles a deployable Web Service.
+// Service bundles a deployable Web Service. Build one with Register.
 type Service struct {
 	Name     string
+	Version  string
 	Category string
+	Doc      string
 	Desc     *wsdl.Description
 	Endpoint *soap.Endpoint
+}
+
+// Op declares one service operation exactly once: its interface metadata
+// (names of the input and output parts, shared by the WSDL document and
+// the obs metric labels) together with its handler.
+type Op struct {
+	Name    string
+	Doc     string
+	In, Out []string
+	Handle  soap.Handler
+}
+
+// ServiceDesc carries everything needed to deploy, describe, publish and
+// label a service: identity (name, version, category), a human description
+// reused as the registry entry text, and the operation set.
+type ServiceDesc struct {
+	Name     string
+	Version  string
+	Category string
+	Doc      string
+	Ops      []Op
+}
+
+// Register materialises a ServiceDesc into a deployable Service: the SOAP
+// endpoint gets one handler per operation and the WSDL description is
+// derived from the same Op metadata, so the wire interface and its
+// published description cannot drift apart. This replaces the per-service
+// copy-pasted endpoint/WSDL wiring the constructors used to carry.
+func Register(desc ServiceDesc) *Service {
+	if desc.Name == "" {
+		panic("services: ServiceDesc has no name")
+	}
+	if desc.Version == "" {
+		desc.Version = "1.0"
+	}
+	ep := soap.NewEndpoint(desc.Name)
+	wd := &wsdl.Description{Service: desc.Name}
+	for _, op := range desc.Ops {
+		if op.Handle == nil {
+			panic("services: operation " + op.Name + " on " + desc.Name + " has no handler")
+		}
+		ep.Handle(op.Name, op.Handle)
+		wop := wsdl.Operation{Name: op.Name, Doc: op.Doc}
+		for _, p := range op.In {
+			wop.Inputs = append(wop.Inputs, wsdl.Part{Name: p})
+		}
+		for _, p := range op.Out {
+			// Binary parts travel base64-encoded; by convention the toolkit
+			// names them "image" (plotPNG, plot3D), which the WSDL types as
+			// base64Binary instead of string.
+			typ := ""
+			if p == "image" {
+				typ = "base64Binary"
+			}
+			wop.Outputs = append(wop.Outputs, wsdl.Part{Name: p, Type: typ})
+		}
+		wd.Ops = append(wd.Ops, wop)
+	}
+	return &Service{
+		Name:     desc.Name,
+		Version:  desc.Version,
+		Category: desc.Category,
+		Doc:      desc.Doc,
+		Desc:     wd,
+		Endpoint: ep,
+	}
+}
+
+// Description returns the registry-facing description text: the declared
+// Doc, falling back to a generic line.
+func (s *Service) Description() string {
+	if s.Doc != "" {
+		return s.Doc
+	}
+	return "FAEHIM data mining service"
 }
 
 // Host mounts services on a mux under /services/<name>, serving SOAP on

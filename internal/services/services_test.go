@@ -2,6 +2,7 @@ package services
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"image/png"
@@ -38,7 +39,7 @@ func TestClassifierServiceProtocol(t *testing.T) {
 	url := base + "/services/Classifier"
 
 	// Step 1: getClassifiers.
-	out, err := soap.Call(url, "getClassifiers", nil)
+	out, err := soap.CallContext(context.Background(), url, "getClassifiers", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestClassifierServiceProtocol(t *testing.T) {
 	}
 
 	// Step 2: getOptions for the selected classifier.
-	out, err = soap.Call(url, "getOptions", map[string]string{"classifier": "J48"})
+	out, err = soap.CallContext(context.Background(), url, "getOptions", map[string]string{"classifier": "J48"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestClassifierServiceProtocol(t *testing.T) {
 	}
 
 	// Step 3: classifyInstance with dataset, classifier, options, attribute.
-	out, err = soap.Call(url, "classifyInstance", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "classifyInstance", map[string]string{
 		"dataset":    breastARFF(),
 		"classifier": "J48",
 		"options":    `{"confidenceFactor":"0.25"}`,
@@ -95,7 +96,7 @@ func TestClassifierServiceProtocol(t *testing.T) {
 	}
 
 	// classifyGraph returns DOT.
-	out, err = soap.Call(url, "classifyGraph", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "classifyGraph", map[string]string{
 		"dataset":    breastARFF(),
 		"classifier": "J48",
 		"attribute":  "Class",
@@ -121,16 +122,16 @@ func TestClassifierServiceFaults(t *testing.T) {
 		{"dataset": breastARFF(), "classifier": "J48", "options": `{"confidenceFactor":"9"}`},
 	}
 	for i, parts := range cases {
-		if _, err := soap.Call(url, "classifyInstance", parts); err == nil {
+		if _, err := soap.CallContext(context.Background(), url, "classifyInstance", parts); err == nil {
 			t.Errorf("case %d: no fault for %v", i, parts)
 		}
 	}
 	// getOptions faults.
-	if _, err := soap.Call(url, "getOptions", nil); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "getOptions", nil); err == nil {
 		t.Error("getOptions without classifier accepted")
 	}
 	// classifyGraph on a non-tree algorithm faults.
-	if _, err := soap.Call(url, "classifyGraph", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "classifyGraph", map[string]string{
 		"dataset": breastARFF(), "classifier": "NaiveBayes", "attribute": "Class",
 	}); err == nil {
 		t.Error("classifyGraph on NaiveBayes accepted")
@@ -140,7 +141,7 @@ func TestClassifierServiceFaults(t *testing.T) {
 func TestJ48ServiceOperations(t *testing.T) {
 	base := hostServices(t, NewJ48Service(harness.NewCachedBackend(8)))
 	url := base + "/services/J48"
-	out, err := soap.Call(url, "classify", map[string]string{
+	out, err := soap.CallContext(context.Background(), url, "classify", map[string]string{
 		"dataset": breastARFF(), "attribute": "Class",
 	})
 	if err != nil {
@@ -149,7 +150,7 @@ func TestJ48ServiceOperations(t *testing.T) {
 	if !strings.Contains(out["tree"], "node-caps = yes") {
 		t.Fatalf("tree:\n%s", out["tree"])
 	}
-	out, err = soap.Call(url, "classifyGraph", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "classifyGraph", map[string]string{
 		"dataset": breastARFF(), "attribute": "Class",
 	})
 	if err != nil {
@@ -163,14 +164,14 @@ func TestJ48ServiceOperations(t *testing.T) {
 func TestClustererService(t *testing.T) {
 	base := hostServices(t, NewClustererService())
 	url := base + "/services/Clusterer"
-	out, err := soap.Call(url, "getClusterers", nil)
+	out, err := soap.CallContext(context.Background(), url, "getClusterers", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["clusterers"], "SimpleKMeans") || !strings.Contains(out["clusterers"], "Cobweb") {
 		t.Fatalf("clusterers = %q", out["clusterers"])
 	}
-	out, err = soap.Call(url, "getOptions", map[string]string{"clusterer": "SimpleKMeans"})
+	out, err = soap.CallContext(context.Background(), url, "getOptions", map[string]string{"clusterer": "SimpleKMeans"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestClustererService(t *testing.T) {
 		t.Fatalf("options = %q", out["options"])
 	}
 	gauss := arff.Format(datagen.GaussianClusters(3, 150, 2, 10, 5))
-	out, err = soap.Call(url, "cluster", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "cluster", map[string]string{
 		"dataset": gauss, "clusterer": "SimpleKMeans", "options": "k=3",
 	})
 	if err != nil {
@@ -188,10 +189,10 @@ func TestClustererService(t *testing.T) {
 		t.Fatalf("clusters = %q\n%s", out["clusters"], out["summary"])
 	}
 	// Faults.
-	if _, err := soap.Call(url, "cluster", map[string]string{"dataset": gauss, "clusterer": "Nope"}); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "cluster", map[string]string{"dataset": gauss, "clusterer": "Nope"}); err == nil {
 		t.Error("unknown clusterer accepted")
 	}
-	if _, err := soap.Call(url, "cluster", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "cluster", map[string]string{
 		"dataset": gauss, "clusterer": "SimpleKMeans", "options": "k=zero"}); err == nil {
 		t.Error("bad option accepted")
 	}
@@ -203,14 +204,14 @@ func TestCobwebService(t *testing.T) {
 	base := hostServices(t, NewCobwebService())
 	url := base + "/services/Cobweb"
 	weather := arff.Format(datagen.Weather())
-	out, err := soap.Call(url, "cluster", map[string]string{"dataset": weather})
+	out, err := soap.CallContext(context.Background(), url, "cluster", map[string]string{"dataset": weather})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["summary"], "leaf concepts") {
 		t.Fatalf("summary:\n%s", out["summary"])
 	}
-	out, err = soap.Call(url, "getCobwebGraph", map[string]string{"dataset": weather})
+	out, err = soap.CallContext(context.Background(), url, "getCobwebGraph", map[string]string{"dataset": weather})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestAssociationService(t *testing.T) {
 	base := hostServices(t, NewAssociationService())
 	url := base + "/services/AssociationRules"
 	// Via ARFF dataset.
-	out, err := soap.Call(url, "mine", map[string]string{
+	out, err := soap.CallContext(context.Background(), url, "mine", map[string]string{
 		"dataset":       arff.Format(datagen.Weather()),
 		"minSupport":    "0.2",
 		"minConfidence": "0.9",
@@ -242,7 +243,7 @@ func TestAssociationService(t *testing.T) {
 	for _, tr := range datagen.Baskets(300, 10, 2, 0.95, 7) {
 		lines = append(lines, strings.Join(tr, ","))
 	}
-	out, err = soap.Call(url, "mine", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "mine", map[string]string{
 		"transactions":  strings.Join(lines, "\n"),
 		"minSupport":    "0.05",
 		"minConfidence": "0.7",
@@ -255,13 +256,13 @@ func TestAssociationService(t *testing.T) {
 		t.Fatalf("maxRules ignored: %d rules returned", got)
 	}
 	// FPGrowth produces the same rule count as Apriori on the same input.
-	apOut, err := soap.Call(url, "mine", map[string]string{
+	apOut, err := soap.CallContext(context.Background(), url, "mine", map[string]string{
 		"dataset": arff.Format(datagen.Weather()), "minSupport": "0.2", "minConfidence": "0.9",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fpOut, err := soap.Call(url, "mine", map[string]string{
+	fpOut, err := soap.CallContext(context.Background(), url, "mine", map[string]string{
 		"dataset": arff.Format(datagen.Weather()), "minSupport": "0.2", "minConfidence": "0.9",
 		"algorithm": "FPGrowth",
 	})
@@ -279,7 +280,7 @@ func TestAssociationService(t *testing.T) {
 		{"dataset": arff.Format(datagen.Weather()), "maxRules": "-2"},
 		{"dataset": arff.Format(datagen.Weather()), "algorithm": "Eclat"},
 	} {
-		if _, err := soap.Call(url, "mine", parts); err == nil {
+		if _, err := soap.CallContext(context.Background(), url, "mine", parts); err == nil {
 			t.Errorf("no fault for %v", parts)
 		}
 	}
@@ -290,7 +291,7 @@ func TestAssociationService(t *testing.T) {
 func TestAttributeSelectionService(t *testing.T) {
 	base := hostServices(t, NewAttributeSelectionService())
 	url := base + "/services/AttributeSelection"
-	out, err := soap.Call(url, "getApproaches", nil)
+	out, err := soap.CallContext(context.Background(), url, "getApproaches", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestAttributeSelectionService(t *testing.T) {
 	if len(approaches) < 20 {
 		t.Fatalf("only %d approaches", len(approaches))
 	}
-	out, err = soap.Call(url, "rank", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "rank", map[string]string{
 		"dataset": breastARFF(), "evaluator": "InfoGain",
 	})
 	if err != nil {
@@ -308,7 +309,7 @@ func TestAttributeSelectionService(t *testing.T) {
 	if !strings.HasPrefix(first, "node-caps") && !strings.HasPrefix(first, "deg-malig") {
 		t.Fatalf("top-ranked = %q", first)
 	}
-	out, err = soap.Call(url, "select", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "select", map[string]string{
 		"dataset": breastARFF(), "evaluator": "CfsSubset", "search": "GeneticSearch",
 	})
 	if err != nil {
@@ -317,7 +318,7 @@ func TestAttributeSelectionService(t *testing.T) {
 	if !strings.Contains(out["selected"], "node-caps") {
 		t.Fatalf("genetic selection = %q", out["selected"])
 	}
-	if _, err := soap.Call(url, "select", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "select", map[string]string{
 		"dataset": breastARFF(), "evaluator": "Nope", "search": "GeneticSearch"}); err == nil {
 		t.Error("unknown evaluator accepted")
 	}
@@ -327,14 +328,14 @@ func TestDataConvertService(t *testing.T) {
 	base := hostServices(t, NewDataConvertService(nil))
 	url := base + "/services/DataConvert"
 	csvText := "x,y,label\n1,2,a\n3,4,b\n"
-	out, err := soap.Call(url, "csv2arff", map[string]string{"csv": csvText, "relation": "pts"})
+	out, err := soap.CallContext(context.Background(), url, "csv2arff", map[string]string{"csv": csvText, "relation": "pts"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["arff"], "@relation pts") {
 		t.Fatalf("arff:\n%s", out["arff"])
 	}
-	out2, err := soap.Call(url, "arff2csv", map[string]string{"dataset": out["arff"]})
+	out2, err := soap.CallContext(context.Background(), url, "arff2csv", map[string]string{"dataset": out["arff"]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestDataConvertService(t *testing.T) {
 		t.Fatalf("csv:\n%s", out2["csv"])
 	}
 	// summarize produces the Figure-3 block.
-	out3, err := soap.Call(url, "summarize", map[string]string{"dataset": breastARFF()})
+	out3, err := soap.CallContext(context.Background(), url, "summarize", map[string]string{"dataset": breastARFF()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,21 +373,21 @@ func TestDataConvertReadURL(t *testing.T) {
 	defer uci.Close()
 	base := hostServices(t, NewDataConvertService(uci.Client()))
 	url := base + "/services/DataConvert"
-	out, err := soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/breast-cancer.arff"})
+	out, err := soap.CallContext(context.Background(), url, "readURL", map[string]string{"url": uci.URL + "/breast-cancer.arff"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["arff"], "@relation breast-cancer") {
 		t.Fatal("fetched ARFF not normalised")
 	}
-	out, err = soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/data.csv"})
+	out, err = soap.CallContext(context.Background(), url, "readURL", map[string]string{"url": uci.URL + "/data.csv"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["arff"], "@attribute a numeric") {
 		t.Fatalf("fetched CSV not converted:\n%s", out["arff"])
 	}
-	if _, err := soap.Call(url, "readURL", map[string]string{"url": uci.URL + "/missing"}); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "readURL", map[string]string{"url": uci.URL + "/missing"}); err == nil {
 		t.Error("404 fetch accepted")
 	}
 }
@@ -395,14 +396,14 @@ func TestPlotService(t *testing.T) {
 	base := hostServices(t, NewPlotService())
 	url := base + "/services/Plot"
 	points := "0,0\n1,1\n2,4\n3,9\n"
-	out, err := soap.Call(url, "plot", map[string]string{"points": points})
+	out, err := soap.CallContext(context.Background(), url, "plot", map[string]string{"points": points})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out["plot"], "*") {
 		t.Fatalf("ascii plot:\n%s", out["plot"])
 	}
-	out, err = soap.Call(url, "plotPNG", map[string]string{"points": points, "kind": "line"})
+	out, err = soap.CallContext(context.Background(), url, "plotPNG", map[string]string{"points": points, "kind": "line"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestPlotService(t *testing.T) {
 	if _, err := png.Decode(bytes.NewReader(raw)); err != nil {
 		t.Fatalf("not a PNG: %v", err)
 	}
-	if _, err := soap.Call(url, "plot", map[string]string{"points": "nonsense"}); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "plot", map[string]string{"points": "nonsense"}); err == nil {
 		t.Error("malformed points accepted")
 	}
 }
@@ -430,7 +431,7 @@ func TestPlot3DService(t *testing.T) {
 			strconv.FormatFloat(y, 'f', 2, 64) + "," +
 			strconv.FormatFloat(x*y, 'f', 2, 64) + "\n")
 	}
-	out, err := soap.Call(url, "plot3D", map[string]string{"points": b.String()})
+	out, err := soap.CallContext(context.Background(), url, "plot3D", map[string]string{"points": b.String()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestPlot3DService(t *testing.T) {
 		t.Fatalf("image %v", img.Bounds())
 	}
 	for _, bad := range []string{"", "1,2\n", "a,b,c\n"} {
-		if _, err := soap.Call(url, "plot3D", map[string]string{"points": bad}); err == nil {
+		if _, err := soap.CallContext(context.Background(), url, "plot3D", map[string]string{"points": bad}); err == nil {
 			t.Errorf("accepted points %q", bad)
 		}
 	}
@@ -456,13 +457,13 @@ func TestTreeAnalyzerService(t *testing.T) {
 	// Drive it with a real J48 textual tree, as the case study does.
 	backend := harness.NewCachedBackend(4)
 	base := hostServices(t, NewJ48Service(backend), NewTreeAnalyzerService())
-	out, err := soap.Call(base+"/services/J48", "classify", map[string]string{
+	out, err := soap.CallContext(context.Background(), base+"/services/J48", "classify", map[string]string{
 		"dataset": breastARFF(), "attribute": "Class",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, err := soap.Call(base+"/services/TreeAnalyzer", "analyze", map[string]string{
+	out2, err := soap.CallContext(context.Background(), base+"/services/TreeAnalyzer", "analyze", map[string]string{
 		"tree": out["tree"],
 	})
 	if err != nil {
@@ -481,7 +482,7 @@ func TestTreeAnalyzerService(t *testing.T) {
 	if !strings.Contains(out2["rules"], "IF node-caps = yes") {
 		t.Fatalf("rules:\n%s", out2["rules"])
 	}
-	if _, err := soap.Call(base+"/services/TreeAnalyzer", "analyze",
+	if _, err := soap.CallContext(context.Background(), base+"/services/TreeAnalyzer", "analyze",
 		map[string]string{"tree": "   "}); err == nil {
 		t.Error("blank tree accepted")
 	}

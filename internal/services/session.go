@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,7 +10,6 @@ import (
 	"repro/internal/classify"
 	"repro/internal/harness"
 	"repro/internal/soap"
-	"repro/internal/wsdl"
 )
 
 // NewSessionService implements the "session management" capability the
@@ -65,151 +65,160 @@ func NewSessionService(backend harness.Backend) *Service {
 		}
 		return harness.Invoke(backend, s.key, TrainBuilder(s.name, s.opts, d), fn)
 	}
-
-	ep := soap.NewEndpoint("Session")
-	ep.Handle("createSession", func(parts map[string]string) (map[string]string, error) {
-		// Validate by training once through the shared path.
-		c, _, err := trainFromParts(backend, parts)
-		if err != nil {
-			return nil, err
-		}
-		opts, err := parseOptions(parts, "options")
-		if err != nil {
-			return nil, err
-		}
-		mu.Lock()
-		nextID++
-		id := "s" + strconv.Itoa(nextID)
-		sessions[id] = &sessionInfo{
-			key:       InstanceKey(parts["classifier"], opts, parts["dataset"], parts["attribute"]),
-			name:      parts["classifier"],
-			opts:      opts,
-			arff:      parts["dataset"],
-			attribute: strings.TrimSpace(parts["attribute"]),
-		}
-		mu.Unlock()
-		return map[string]string{"session": id, "algorithm": c.Name()}, nil
-	})
-	ep.Handle("classify", func(parts map[string]string) (map[string]string, error) {
-		s, err := lookup(parts)
-		if err != nil {
-			return nil, err
-		}
-		unlabelled, err := parseDataset(parts, "instances")
-		if err != nil {
-			return nil, err
-		}
-		if s.attribute != "" {
-			if err := unlabelled.SetClassByName(s.attribute); err != nil {
-				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-			}
-		}
-		var labels []string
-		err = withModel(s, func(c classify.Classifier) error {
-			out, err := classify.Label(c, unlabelled)
-			labels = out
-			return err
-		})
-		if err != nil {
-			if f, ok := err.(*soap.Fault); ok {
-				return nil, f
-			}
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		return map[string]string{"labels": strings.Join(labels, "\n")}, nil
-	})
-	ep.Handle("evaluate", func(parts map[string]string) (map[string]string, error) {
-		s, err := lookup(parts)
-		if err != nil {
-			return nil, err
-		}
-		test, err := parseDataset(parts, "dataset")
-		if err != nil {
-			return nil, err
-		}
-		if s.attribute != "" {
-			if err := test.SetClassByName(s.attribute); err != nil {
-				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-			}
-		}
-		out := map[string]string{}
-		err = withModel(s, func(c classify.Classifier) error {
-			ev, err := classify.NewEvaluation(test)
-			if err != nil {
-				return err
-			}
-			if err := ev.TestModel(c, test); err != nil {
-				return err
-			}
-			out["evaluation"] = ev.String()
-			out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
-			return nil
-		})
-		if err != nil {
-			if f, ok := err.(*soap.Fault); ok {
-				return nil, f
-			}
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		return out, nil
-	})
-	ep.Handle("getModel", func(parts map[string]string) (map[string]string, error) {
-		s, err := lookup(parts)
-		if err != nil {
-			return nil, err
-		}
-		out := map[string]string{}
-		err = withModel(s, func(c classify.Classifier) error {
-			out["model"] = modelText(c)
-			return nil
-		})
-		if err != nil {
-			if f, ok := err.(*soap.Fault); ok {
-				return nil, f
-			}
-			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
-		}
-		return out, nil
-	})
-	ep.Handle("closeSession", func(parts map[string]string) (map[string]string, error) {
-		id, err := require(parts, "session")
-		if err != nil {
-			return nil, err
-		}
-		mu.Lock()
-		_, ok := sessions[strings.TrimSpace(id)]
-		delete(sessions, strings.TrimSpace(id))
-		mu.Unlock()
-		if !ok {
-			return nil, &soap.Fault{Code: "soap:Client", String: fmt.Sprintf("unknown session %q", id)}
-		}
-		return map[string]string{"closed": strings.TrimSpace(id)}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "Session",
+		Version:  "1.1",
 		Category: "session-management",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "Session",
-			Ops: []wsdl.Operation{
-				{Name: "createSession",
-					Doc: "Train a classifier once and pin it in memory for interactive use (§4.5).",
-					Inputs: []wsdl.Part{{Name: "dataset"}, {Name: "classifier"},
-						{Name: "options"}, {Name: "attribute"}},
-					Outputs: []wsdl.Part{{Name: "session"}, {Name: "algorithm"}}},
-				{Name: "classify", Doc: "Label instances with the session's model.",
-					Inputs:  []wsdl.Part{{Name: "session"}, {Name: "instances"}},
-					Outputs: []wsdl.Part{{Name: "labels"}}},
-				{Name: "evaluate", Doc: "Evaluate the session's model on a labelled dataset.",
-					Inputs:  []wsdl.Part{{Name: "session"}, {Name: "dataset"}},
-					Outputs: []wsdl.Part{{Name: "evaluation"}, {Name: "accuracy"}}},
-				{Name: "getModel", Doc: "Return the session model's textual form.",
-					Inputs:  []wsdl.Part{{Name: "session"}},
-					Outputs: []wsdl.Part{{Name: "model"}}},
-				{Name: "closeSession", Doc: "Release the session.",
-					Inputs:  []wsdl.Part{{Name: "session"}},
-					Outputs: []wsdl.Part{{Name: "closed"}}},
+		Doc:      "Interactive sessions: train a model once and keep the instance live across invocations (§4.5).",
+		Ops: []Op{
+			{
+				Name: "createSession",
+				Doc:  "Train a classifier once and pin it in memory for interactive use (§4.5).",
+				In:   []string{"dataset", "classifier", "options", "attribute"},
+				Out:  []string{"session", "algorithm"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					// Validate by training once through the shared path.
+					c, _, err := trainFromParts(backend, parts)
+					if err != nil {
+						return nil, err
+					}
+					opts, err := parseOptions(parts, "options")
+					if err != nil {
+						return nil, err
+					}
+					mu.Lock()
+					nextID++
+					id := "s" + strconv.Itoa(nextID)
+					sessions[id] = &sessionInfo{
+						key:       InstanceKey(parts["classifier"], opts, parts["dataset"], parts["attribute"]),
+						name:      parts["classifier"],
+						opts:      opts,
+						arff:      parts["dataset"],
+						attribute: strings.TrimSpace(parts["attribute"]),
+					}
+					mu.Unlock()
+					return map[string]string{"session": id, "algorithm": c.Name()}, nil
+				},
+			},
+			{
+				Name: "classify",
+				Doc:  "Label instances with the session's model.",
+				In:   []string{"session", "instances"},
+				Out:  []string{"labels"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					s, err := lookup(parts)
+					if err != nil {
+						return nil, err
+					}
+					unlabelled, err := parseDataset(parts, "instances")
+					if err != nil {
+						return nil, err
+					}
+					if s.attribute != "" {
+						if err := unlabelled.SetClassByName(s.attribute); err != nil {
+							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+						}
+					}
+					var labels []string
+					err = withModel(s, func(c classify.Classifier) error {
+						out, err := classify.Label(c, unlabelled)
+						labels = out
+						return err
+					})
+					if err != nil {
+						if f, ok := err.(*soap.Fault); ok {
+							return nil, f
+						}
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return map[string]string{"labels": strings.Join(labels, "\n")}, nil
+				},
+			},
+			{
+				Name: "evaluate",
+				Doc:  "Evaluate the session's model on a labelled dataset.",
+				In:   []string{"session", "dataset"},
+				Out:  []string{"evaluation", "accuracy"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					s, err := lookup(parts)
+					if err != nil {
+						return nil, err
+					}
+					test, err := parseDataset(parts, "dataset")
+					if err != nil {
+						return nil, err
+					}
+					if s.attribute != "" {
+						if err := test.SetClassByName(s.attribute); err != nil {
+							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+						}
+					}
+					out := map[string]string{}
+					err = withModel(s, func(c classify.Classifier) error {
+						ev, err := classify.NewEvaluation(test)
+						if err != nil {
+							return err
+						}
+						if err := ev.TestModel(c, test); err != nil {
+							return err
+						}
+						out["evaluation"] = ev.String()
+						out["accuracy"] = fmt.Sprintf("%.6f", ev.Accuracy())
+						return nil
+					})
+					if err != nil {
+						if f, ok := err.(*soap.Fault); ok {
+							return nil, f
+						}
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return out, nil
+				},
+			},
+			{
+				Name: "getModel",
+				Doc:  "Return the session model's textual form.",
+				In:   []string{"session"},
+				Out:  []string{"model"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					s, err := lookup(parts)
+					if err != nil {
+						return nil, err
+					}
+					out := map[string]string{}
+					err = withModel(s, func(c classify.Classifier) error {
+						out["model"] = modelText(c)
+						return nil
+					})
+					if err != nil {
+						if f, ok := err.(*soap.Fault); ok {
+							return nil, f
+						}
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return out, nil
+				},
+			},
+			{
+				Name: "closeSession",
+				Doc:  "Release the session.",
+				In:   []string{"session"},
+				Out:  []string{"closed"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					id, err := require(parts, "session")
+					if err != nil {
+						return nil, err
+					}
+					mu.Lock()
+					_, ok := sessions[strings.TrimSpace(id)]
+					delete(sessions, strings.TrimSpace(id))
+					mu.Unlock()
+					if !ok {
+						return nil, &soap.Fault{Code: "soap:Client", String: fmt.Sprintf("unknown session %q", id)}
+					}
+					return map[string]string{"closed": strings.TrimSpace(id)}, nil
+				},
 			},
 		},
-	}
+	})
 }

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -25,7 +26,7 @@ func TestSessionServiceInteractiveUse(t *testing.T) {
 	}
 
 	// Create: trains once.
-	out, err := soap.Call(url, "createSession", map[string]string{
+	out, err := soap.CallContext(context.Background(), url, "createSession", map[string]string{
 		"dataset":    arff.Format(train.Clone()),
 		"classifier": "J48",
 		"attribute":  "Class",
@@ -41,7 +42,7 @@ func TestSessionServiceInteractiveUse(t *testing.T) {
 	// Interactive follow-ups reuse the pinned instance: the harness must
 	// record the invocations without retraining (builds tracked via
 	// Invocations staying cheap is benchmarked; here we assert behaviour).
-	model1, err := soap.Call(url, "getModel", map[string]string{"session": session})
+	model1, err := soap.CallContext(context.Background(), url, "getModel", map[string]string{"session": session})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSessionServiceInteractiveUse(t *testing.T) {
 	for _, in := range unlabelled.Instances {
 		in.Values[unlabelled.ClassIndex] = dataset.Missing
 	}
-	out, err = soap.Call(url, "classify", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "classify", map[string]string{
 		"session":   session,
 		"instances": arff.Format(unlabelled),
 	})
@@ -65,7 +66,7 @@ func TestSessionServiceInteractiveUse(t *testing.T) {
 		t.Fatalf("labelled %d of %d", len(labels), test.NumInstances())
 	}
 	// Evaluate on the held-out share.
-	out, err = soap.Call(url, "evaluate", map[string]string{
+	out, err = soap.CallContext(context.Background(), url, "evaluate", map[string]string{
 		"session": session,
 		"dataset": arff.Format(test.Clone()),
 	})
@@ -77,13 +78,13 @@ func TestSessionServiceInteractiveUse(t *testing.T) {
 		t.Fatalf("accuracy = %q", out["accuracy"])
 	}
 	// Close, then further use faults.
-	if _, err := soap.Call(url, "closeSession", map[string]string{"session": session}); err != nil {
+	if _, err := soap.CallContext(context.Background(), url, "closeSession", map[string]string{"session": session}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := soap.Call(url, "getModel", map[string]string{"session": session}); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "getModel", map[string]string{"session": session}); err == nil {
 		t.Fatal("closed session still usable")
 	}
-	if _, err := soap.Call(url, "closeSession", map[string]string{"session": session}); err == nil {
+	if _, err := soap.CallContext(context.Background(), url, "closeSession", map[string]string{"session": session}); err == nil {
 		t.Fatal("double close accepted")
 	}
 }
@@ -97,19 +98,19 @@ func TestSessionSurvivesEviction(t *testing.T) {
 	weather := arff.Format(datagen.Weather())
 	bc := arff.Format(datagen.BreastCancer())
 
-	out1, err := soap.Call(url, "createSession", map[string]string{
+	out1, err := soap.CallContext(context.Background(), url, "createSession", map[string]string{
 		"dataset": bc, "classifier": "J48", "attribute": "Class",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := soap.Call(url, "createSession", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "createSession", map[string]string{
 		"dataset": weather, "classifier": "NaiveBayes", "attribute": "play",
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Session 1's instance was evicted; getModel must still work.
-	out, err := soap.Call(url, "getModel", map[string]string{"session": out1["session"]})
+	out, err := soap.CallContext(context.Background(), url, "getModel", map[string]string{"session": out1["session"]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +122,12 @@ func TestSessionSurvivesEviction(t *testing.T) {
 func TestSessionFaults(t *testing.T) {
 	base := hostServices(t, NewSessionService(harness.NewCachedBackend(4)))
 	url := base + "/services/Session"
-	if _, err := soap.Call(url, "classify", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "classify", map[string]string{
 		"session": "ghost", "instances": arff.Format(datagen.Weather()),
 	}); err == nil {
 		t.Fatal("unknown session accepted")
 	}
-	if _, err := soap.Call(url, "createSession", map[string]string{
+	if _, err := soap.CallContext(context.Background(), url, "createSession", map[string]string{
 		"dataset": "junk", "classifier": "J48",
 	}); err == nil {
 		t.Fatal("malformed dataset accepted")

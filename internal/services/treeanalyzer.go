@@ -1,13 +1,13 @@
 package services
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/soap"
-	"repro/internal/wsdl"
 )
 
 // NewTreeAnalyzerService builds the case study's third Web Service: "a Web
@@ -17,39 +17,37 @@ import (
 //
 //	analyze(tree) -> root, depth, leaves, attributes, rules
 func NewTreeAnalyzerService() *Service {
-	ep := soap.NewEndpoint("TreeAnalyzer")
-	ep.Handle("analyze", func(parts map[string]string) (map[string]string, error) {
-		text, err := require(parts, "tree")
-		if err != nil {
-			return nil, err
-		}
-		a, err := AnalyzeTreeText(text)
-		if err != nil {
-			return nil, &soap.Fault{Code: "soap:Client", String: "unparseable tree", Detail: err.Error()}
-		}
-		return map[string]string{
-			"root":       a.Root,
-			"depth":      strconv.Itoa(a.Depth),
-			"leaves":     strconv.Itoa(a.Leaves),
-			"attributes": strings.Join(a.Attributes, "\n"),
-			"rules":      strings.Join(a.Rules, "\n"),
-		}, nil
-	})
-	return &Service{
+	return Register(ServiceDesc{
 		Name:     "TreeAnalyzer",
+		Version:  "1.1",
 		Category: "processing",
-		Endpoint: ep,
-		Desc: &wsdl.Description{
-			Service: "TreeAnalyzer",
-			Ops: []wsdl.Operation{{
-				Name:   "analyze",
-				Doc:    "Analyse a textual J48 decision tree: root attribute, depth, leaves, rules.",
-				Inputs: []wsdl.Part{{Name: "tree"}},
-				Outputs: []wsdl.Part{{Name: "root"}, {Name: "depth"}, {Name: "leaves"},
-					{Name: "attributes"}, {Name: "rules"}},
-			}},
+		Doc:      "Decision-tree output analysis: root attribute, depth, leaves and extracted rules (§5.3).",
+		Ops: []Op{
+			{
+				Name: "analyze",
+				Doc:  "Analyse a textual J48 decision tree: root attribute, depth, leaves, rules.",
+				In:   []string{"tree"},
+				Out:  []string{"root", "depth", "leaves", "attributes", "rules"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					text, err := require(parts, "tree")
+					if err != nil {
+						return nil, err
+					}
+					a, err := AnalyzeTreeText(text)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: "unparseable tree", Detail: err.Error()}
+					}
+					return map[string]string{
+						"root":       a.Root,
+						"depth":      strconv.Itoa(a.Depth),
+						"leaves":     strconv.Itoa(a.Leaves),
+						"attributes": strings.Join(a.Attributes, "\n"),
+						"rules":      strings.Join(a.Rules, "\n"),
+					}, nil
+				},
+			},
 		},
-	}
+	})
 }
 
 // TreeAnalysis is the structural summary of a textual J48 tree.

@@ -4,21 +4,66 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Client invokes SOAP operations over HTTP.
+// maxEnvelopeBytes bounds how much of a response body the client reads —
+// plot PNGs and large ARFF replies fit comfortably, runaway bodies do not.
+const maxEnvelopeBytes = 64 << 20
+
+// Client invokes SOAP operations over HTTP. Construct it with NewClient;
+// the zero value behaves like NewClient() with no options.
 type Client struct {
-	// HTTPClient defaults to a shared pooled client with a 30s timeout.
-	HTTPClient *http.Client
+	httpClient  *http.Client
+	timeout     time.Duration
+	observer    *obs.Registry
+	traceHeader bool
+	configured  bool
 }
 
-// DefaultClient is the shared client used by Call.
-var DefaultClient = &Client{}
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the pooled transport (e.g. for tests or custom
+// TLS). The supplied client's own timeout applies unless WithTimeout is
+// also given.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.httpClient = hc }
+}
+
+// WithTimeout bounds each call that arrives without a context deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithObserver directs the client's metrics (request counts, fault
+// classes, latency histograms) to reg instead of obs.Default.
+func WithObserver(reg *obs.Registry) Option {
+	return func(c *Client) { c.observer = reg }
+}
+
+// WithTraceHeader controls whether the client injects the obs trace
+// context as a TraceContext SOAP header block (default on).
+func WithTraceHeader(enabled bool) Option {
+	return func(c *Client) { c.traceHeader = enabled }
+}
+
+// NewClient builds a client over the shared pooled transport.
+func NewClient(opts ...Option) *Client {
+	c := &Client{traceHeader: true, configured: true}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
 
 // sharedHTTPClient is the pooled transport used when a Client has no
-// explicit HTTPClient. A single client (rather than one per call) keeps
+// explicit HTTP client. A single client (rather than one per call) keeps
 // idle connections alive between invocations, so repeated calls to the
 // same service reuse TCP connections instead of re-dialling each time.
 var sharedHTTPClient = &http.Client{
@@ -30,21 +75,67 @@ var sharedHTTPClient = &http.Client{
 	},
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+// defaultClient backs the package-level Call/CallContext helpers.
+var defaultClient = NewClient()
+
+func (c *Client) http() *http.Client {
+	if c.httpClient != nil {
+		return c.httpClient
 	}
 	return sharedHTTPClient
 }
 
+func (c *Client) obsReg() *obs.Registry {
+	if c.observer != nil {
+		return c.observer
+	}
+	return obs.Default
+}
+
+var clientLog = obs.L("soap.client")
+
 // CallContext posts an operation envelope to url and returns the response
 // parts. The request is bound to ctx, so callers can cancel an in-flight
-// call or impose a deadline. Service-side failures come back as *Fault
-// errors.
+// call or impose a deadline; without a deadline the client's WithTimeout
+// applies. The obs trace context in ctx travels in a SOAP header block so
+// the server joins the same trace. Service-side failures come back as
+// *Fault errors; bare HTTP failures (a non-2xx status with no envelope)
+// are mapped to a *Fault too — soap:Server for 5xx (retryable),
+// soap:Client for 4xx.
 func (c *Client) CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
-	body, err := Marshal(Message{Operation: operation, Parts: parts})
+	traceHeader := c.traceHeader || !c.configured // zero-value Client propagates too
+	ctx, span := obs.StartSpan(ctx, "soap.client", operation)
+	span.SetAttr("endpoint", url)
+	msg := Message{Operation: operation, Parts: parts}
+	if tc, ok := obs.TraceFrom(ctx); ok && traceHeader {
+		msg.Trace = tc.HeaderValue()
+	}
+	out, err := c.do(ctx, url, operation, msg)
+	span.End(err)
+
+	reg := c.obsReg()
+	reg.Counter("soap_client_requests_total", "op="+operation).Inc()
+	reg.Histogram("soap_client_latency_ms", "op="+operation).Observe(span.DurationMS())
+	if err != nil {
+		reg.Counter("soap_client_faults_total", "op="+operation, "class="+obs.FaultClass(err)).Inc()
+		clientLog.Warn(ctx, operation, "endpoint", url, "err", err)
+	} else {
+		clientLog.Info(ctx, operation, "endpoint", url, "status", "ok",
+			"dur_ms", fmt.Sprintf("%.1f", span.DurationMS()))
+	}
+	return out, err
+}
+
+// do performs the marshalled HTTP round trip.
+func (c *Client) do(ctx context.Context, url, operation string, msg Message) (map[string]string, error) {
+	body, err := Marshal(msg)
 	if err != nil {
 		return nil, err
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
@@ -52,33 +143,71 @@ func (c *Client) CallContext(ctx context.Context, url, operation string, parts m
 	}
 	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
 	req.Header.Set("SOAPAction", `"`+operation+`"`)
-	resp, err := c.httpClient().Do(req)
+	if msg.Trace != "" {
+		req.Header.Set(obs.TraceHeaderName, msg.Trace)
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", operation, url, err)
 	}
-	defer resp.Body.Close()
-	msg, err := Unmarshal(resp.Body)
+	// Read the body fully before parsing: a partially-consumed body keeps
+	// the pooled connection from being reused for the next call.
+	raw, readErr := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
+	_ = resp.Body.Close()
+	if readErr != nil {
+		return nil, fmt.Errorf("soap: reading %s response from %s: %w", operation, url, readErr)
+	}
+	reply, err := Unmarshal(bytes.NewReader(raw))
 	if err != nil {
-		return nil, err // *Fault or parse error
+		if _, isFault := err.(*Fault); isFault {
+			return nil, err
+		}
+		// No parseable envelope: a bare HTTP error (proxy page, plain-text
+		// 503, …). Surface it as a typed fault so retry policies can
+		// classify it like any service fault.
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			code := "soap:Server"
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				code = "soap:Client"
+			}
+			return nil, &Fault{Code: code,
+				String: fmt.Sprintf("HTTP %s from %s", resp.Status, url),
+				Detail: bodySnippet(raw)}
+		}
+		return nil, err
 	}
-	if want := operation + "Response"; msg.Operation != want {
-		return nil, fmt.Errorf("soap: expected %s, got %s", want, msg.Operation)
+	if want := operation + "Response"; reply.Operation != want {
+		return nil, fmt.Errorf("soap: expected %s, got %s", want, reply.Operation)
 	}
-	return msg.Parts, nil
+	return reply.Parts, nil
+}
+
+// bodySnippet trims a non-envelope body for fault detail.
+func bodySnippet(raw []byte) string {
+	s := strings.TrimSpace(string(raw))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
 }
 
 // Call posts an operation envelope to url and returns the response parts.
-// Service-side failures come back as *Fault errors.
+//
+// Deprecated: use CallContext so cancellation, deadlines and the obs trace
+// context propagate. Call survives one release as a shim and delegates to
+// CallContext with context.Background().
 func (c *Client) Call(url, operation string, parts map[string]string) (map[string]string, error) {
 	return c.CallContext(context.Background(), url, operation, parts)
 }
 
-// Call invokes an operation using the default client.
-func Call(url, operation string, parts map[string]string) (map[string]string, error) {
-	return DefaultClient.Call(url, operation, parts)
+// CallContext invokes an operation using the package's default client.
+func CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
+	return defaultClient.CallContext(ctx, url, operation, parts)
 }
 
-// CallContext invokes an operation using the default client under ctx.
-func CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
-	return DefaultClient.CallContext(ctx, url, operation, parts)
+// Call invokes an operation using the package's default client.
+//
+// Deprecated: use CallContext; see (*Client).Call.
+func Call(url, operation string, parts map[string]string) (map[string]string, error) {
+	return defaultClient.CallContext(context.Background(), url, operation, parts)
 }

@@ -1,22 +1,30 @@
 package soap
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Handler processes one operation invocation: named string parts in, named
-// string parts out. Returning an error produces a SOAP fault.
-type Handler func(parts map[string]string) (map[string]string, error)
+// string parts out. ctx carries cancellation and the recovered obs trace
+// context of the calling client. Returning an error produces a SOAP fault.
+type Handler func(ctx context.Context, parts map[string]string) (map[string]string, error)
 
 // Endpoint dispatches SOAP envelopes to operation handlers; it implements
 // http.Handler and is the Axis-equivalent hosting container for one
-// service.
+// service. Every request is measured: request count, latency histogram and
+// fault class land in the endpoint's obs registry under the service and
+// operation labels.
 type Endpoint struct {
-	// ServiceName labels the endpoint in faults and WSDL.
+	// ServiceName labels the endpoint in faults, WSDL and metrics.
 	ServiceName string
+	// Observer receives the endpoint's metrics; nil means obs.Default.
+	Observer *obs.Registry
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -50,6 +58,15 @@ func (e *Endpoint) Operations() []string {
 	return out
 }
 
+func (e *Endpoint) obsReg() *obs.Registry {
+	if e.Observer != nil {
+		return e.Observer
+	}
+	return obs.Default
+}
+
+var serverLog = obs.L("soap.server")
+
 // ServeHTTP implements http.Handler.
 func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -58,38 +75,68 @@ func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	msg, err := Unmarshal(r.Body)
 	if err != nil {
-		e.fault(w, &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
+		e.fault(r.Context(), w, "", &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
 		return
 	}
+	// Recover the caller's trace context: the SOAP header block wins, the
+	// HTTP header is the fallback for non-envelope-aware callers.
+	ctx := r.Context()
+	if tc, ok := obs.ParseTraceHeader(msg.Trace); ok {
+		ctx = obs.ContextWithTrace(ctx, tc)
+	} else if tc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeaderName)); ok {
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	ctx, span := obs.StartSpan(ctx, "soap.server", msg.Operation)
+	span.SetAttr("service", e.ServiceName)
+
 	e.mu.RLock()
 	h, ok := e.handlers[msg.Operation]
 	e.mu.RUnlock()
 	if !ok {
-		e.fault(w, &Fault{
+		f := &Fault{
 			Code:   "soap:Client",
 			String: fmt.Sprintf("service %s has no operation %q", e.ServiceName, msg.Operation),
-		})
+		}
+		span.End(f)
+		e.observe(msg.Operation, span.DurationMS(), f)
+		e.fault(ctx, w, msg.Operation, f)
 		return
 	}
-	out, err := h(msg.Parts)
+	out, err := h(ctx, msg.Parts)
+	span.End(err)
+	e.observe(msg.Operation, span.DurationMS(), err)
 	if err != nil {
 		if f, isFault := err.(*Fault); isFault {
-			e.fault(w, f)
+			e.fault(ctx, w, msg.Operation, f)
 			return
 		}
-		e.fault(w, &Fault{Code: "soap:Server", String: err.Error()})
+		e.fault(ctx, w, msg.Operation, &Fault{Code: "soap:Server", String: err.Error()})
 		return
 	}
-	reply, err := Marshal(Message{Operation: msg.Operation + "Response", Parts: out})
+	reply, err := Marshal(Message{Operation: msg.Operation + "Response", Parts: out, Trace: msg.Trace})
 	if err != nil {
-		e.fault(w, &Fault{Code: "soap:Server", String: "marshalling response", Detail: err.Error()})
+		e.fault(ctx, w, msg.Operation, &Fault{Code: "soap:Server", String: "marshalling response", Detail: err.Error()})
 		return
 	}
+	serverLog.Info(ctx, msg.Operation, "service", e.ServiceName, "status", "ok",
+		"dur_ms", fmt.Sprintf("%.1f", span.DurationMS()))
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	_, _ = w.Write(reply)
 }
 
-func (e *Endpoint) fault(w http.ResponseWriter, f *Fault) {
+// observe records one request's metrics.
+func (e *Endpoint) observe(operation string, durMS float64, err error) {
+	reg := e.obsReg()
+	svc := "service=" + e.ServiceName
+	reg.Counter("soap_server_requests_total", svc, "op="+operation).Inc()
+	reg.Histogram("soap_server_latency_ms", svc, "op="+operation).Observe(durMS)
+	if err != nil {
+		reg.Counter("soap_server_faults_total", svc, "class="+obs.FaultClass(err)).Inc()
+	}
+}
+
+func (e *Endpoint) fault(ctx context.Context, w http.ResponseWriter, operation string, f *Fault) {
+	serverLog.Warn(ctx, operation, "service", e.ServiceName, "fault", f.Code, "err", f.String)
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.WriteHeader(http.StatusInternalServerError)
 	_, _ = w.Write(MarshalFault(f))

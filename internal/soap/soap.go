@@ -17,11 +17,18 @@ import (
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
 const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
 
+// TraceNS is the namespace of the TraceContext header block carrying the
+// toolkit's trace propagation (see internal/obs).
+const TraceNS = "urn:faehim:trace"
+
 // Message is an operation invocation or reply: the operation name plus
 // named string parts. Binary parts (e.g. PNG images) travel base64-encoded.
+// Trace, when non-empty, is the obs trace context ("traceID-spanID")
+// carried in a <TraceContext> SOAP header block.
 type Message struct {
 	Operation string
 	Parts     map[string]string
+	Trace     string
 }
 
 // Fault is a SOAP fault, also used as the Go error for failed calls.
@@ -30,6 +37,9 @@ type Fault struct {
 	String string `xml:"faultstring"`
 	Detail string `xml:"detail,omitempty"`
 }
+
+// FaultCode exposes the fault class for metric labelling (obs.FaultClass).
+func (f *Fault) FaultCode() string { return f.Code }
 
 // Error implements error.
 func (f *Fault) Error() string {
@@ -47,7 +57,15 @@ func Marshal(m Message) ([]byte, error) {
 	}
 	var b bytes.Buffer
 	b.WriteString(xml.Header)
-	fmt.Fprintf(&b, `<soap:Envelope xmlns:soap=%q><soap:Body>`, EnvelopeNS)
+	fmt.Fprintf(&b, `<soap:Envelope xmlns:soap=%q>`, EnvelopeNS)
+	if m.Trace != "" {
+		fmt.Fprintf(&b, `<soap:Header><TraceContext xmlns=%q>`, TraceNS)
+		if err := xml.EscapeText(&b, []byte(m.Trace)); err != nil {
+			return nil, fmt.Errorf("soap: %w", err)
+		}
+		b.WriteString(`</TraceContext></soap:Header>`)
+	}
+	b.WriteString(`<soap:Body>`)
 	fmt.Fprintf(&b, "<%s>", m.Operation)
 	keys := make([]string, 0, len(m.Parts))
 	for k := range m.Parts {
@@ -92,9 +110,10 @@ func MarshalFault(f *Fault) []byte {
 func Unmarshal(r io.Reader) (Message, error) {
 	dec := xml.NewDecoder(r)
 	msg := Message{Parts: map[string]string{}}
-	// States: looking for Envelope -> Body -> operation element.
+	// States: looking for Envelope -> (Header) -> Body -> operation element.
 	depth := 0
 	inBody := false
+	inHeader := false
 	var opName string
 	for {
 		tok, err := dec.Token()
@@ -112,8 +131,21 @@ func Unmarshal(r io.Reader) (Message, error) {
 				if t.Name.Local != "Envelope" {
 					return msg, fmt.Errorf("soap: root element %q is not Envelope", t.Name.Local)
 				}
+			case depth == 2 && t.Name.Local == "Header":
+				inHeader = true
 			case depth == 2 && t.Name.Local == "Body":
 				inBody = true
+			case depth == 3 && inHeader:
+				if t.Name.Local == "TraceContext" {
+					var v string
+					if err := dec.DecodeElement(&v, &t); err != nil {
+						return msg, fmt.Errorf("soap: malformed trace header: %w", err)
+					}
+					msg.Trace = strings.TrimSpace(v)
+				} else if err := dec.Skip(); err != nil { // tolerate unknown header blocks
+					return msg, fmt.Errorf("soap: malformed header: %w", err)
+				}
+				depth-- // the block's end element was consumed
 			case depth == 3 && inBody:
 				if t.Name.Local == "Fault" {
 					var f Fault
@@ -131,6 +163,9 @@ func Unmarshal(r io.Reader) (Message, error) {
 			}
 		case xml.EndElement:
 			depth--
+			if depth == 1 && t.Name.Local == "Header" {
+				inHeader = false
+			}
 		}
 	}
 	if msg.Operation == "" {

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -111,17 +112,17 @@ func TestRoundTripProperty(t *testing.T) {
 func newTestEndpoint(t *testing.T) (*Endpoint, *httptest.Server) {
 	t.Helper()
 	ep := NewEndpoint("Echo")
-	ep.Handle("echo", func(parts map[string]string) (map[string]string, error) {
+	ep.Handle("echo", func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 		out := map[string]string{}
 		for k, v := range parts {
 			out[k] = v + v
 		}
 		return out, nil
 	})
-	ep.Handle("fail", func(parts map[string]string) (map[string]string, error) {
+	ep.Handle("fail", func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 		return nil, fmt.Errorf("deliberate failure")
 	})
-	ep.Handle("clientFault", func(parts map[string]string) (map[string]string, error) {
+	ep.Handle("clientFault", func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 		return nil, &Fault{Code: "soap:Client", String: "you did it wrong"}
 	})
 	srv := httptest.NewServer(ep)
@@ -131,7 +132,7 @@ func newTestEndpoint(t *testing.T) (*Endpoint, *httptest.Server) {
 
 func TestClientServerRoundTrip(t *testing.T) {
 	_, srv := newTestEndpoint(t)
-	out, err := Call(srv.URL, "echo", map[string]string{"x": "ab"})
+	out, err := CallContext(context.Background(), srv.URL, "echo", map[string]string{"x": "ab"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestClientServerRoundTrip(t *testing.T) {
 
 func TestServerFaults(t *testing.T) {
 	_, srv := newTestEndpoint(t)
-	_, err := Call(srv.URL, "fail", nil)
+	_, err := CallContext(context.Background(), srv.URL, "fail", nil)
 	f, ok := err.(*Fault)
 	if !ok {
 		t.Fatalf("error = %v, want fault", err)
@@ -150,13 +151,13 @@ func TestServerFaults(t *testing.T) {
 	if f.Code != "soap:Server" || !strings.Contains(f.String, "deliberate") {
 		t.Fatalf("fault = %+v", f)
 	}
-	_, err = Call(srv.URL, "clientFault", nil)
+	_, err = CallContext(context.Background(), srv.URL, "clientFault", nil)
 	f, ok = err.(*Fault)
 	if !ok || f.Code != "soap:Client" {
 		t.Fatalf("client fault = %v", err)
 	}
 	// Unknown operation.
-	_, err = Call(srv.URL, "nonsense", nil)
+	_, err = CallContext(context.Background(), srv.URL, "nonsense", nil)
 	if f, ok = err.(*Fault); !ok || !strings.Contains(f.String, "no operation") {
 		t.Fatalf("unknown-op error = %v", err)
 	}
@@ -189,7 +190,7 @@ func TestEndpointOperations(t *testing.T) {
 }
 
 func TestCallAgainstDeadServer(t *testing.T) {
-	if _, err := Call("http://127.0.0.1:1/none", "op", nil); err == nil {
+	if _, err := CallContext(context.Background(), "http://127.0.0.1:1/none", "op", nil); err == nil {
 		t.Fatal("call to dead server succeeded")
 	}
 }

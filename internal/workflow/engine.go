@@ -3,9 +3,15 @@ package workflow
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+var wfLog = obs.L("workflow")
 
 // EventKind labels a monitoring event.
 type EventKind int
@@ -59,10 +65,19 @@ type Engine struct {
 	Parallel bool
 	// Monitor, when set, receives progress events.
 	Monitor Monitor
+	// Observer receives the engine's metrics; nil means obs.Default.
+	Observer *obs.Registry
 }
 
 // NewEngine returns a parallel engine.
 func NewEngine() *Engine { return &Engine{Parallel: true} }
+
+func (e *Engine) obsReg() *obs.Registry {
+	if e.Observer != nil {
+		return e.Observer
+	}
+	return obs.Default
+}
 
 func (e *Engine) emit(ev Event) {
 	if e.Monitor != nil {
@@ -95,6 +110,11 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	began := time.Now()
+	ctx, runSpan := obs.StartSpan(ctx, "workflow", "run:"+g.Name)
+	runSpan.SetAttr("tasks", strconv.Itoa(len(order)))
+	var runErr error
+	defer func() { runSpan.End(runErr) }()
 	res := &Result{Outputs: map[string]Values{}}
 	var mu sync.Mutex // guards res.Outputs
 
@@ -141,6 +161,8 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 	}
 
 	pendingCount := len(order)
+	pending := e.obsReg().Gauge("workflow_pending_tasks")
+	pending.Set(int64(pendingCount))
 	for _, id := range order {
 		if waits[id] == 0 {
 			start(id)
@@ -155,6 +177,7 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 		select {
 		case id := <-doneCh:
 			finished++
+			pending.Set(int64(pendingCount - finished))
 			for _, dep := range dependents[id] {
 				waits[dep]--
 				if waits[dep] == 0 {
@@ -170,19 +193,25 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 	cancel()
 	wg.Wait()
 	if firstErr != nil {
+		runErr = firstErr
 		return nil, firstErr
 	}
+	wfLog.Info(ctx, "run", "graph", g.Name, "tasks", len(order),
+		"dur_ms", fmt.Sprintf("%.1f", float64(time.Since(began))/float64(time.Millisecond)))
 	return res, nil
 }
 
 // runTask assembles a task's inputs and executes its unit, falling back to
-// alternates on failure.
+// alternates on failure. Each task runs under its own span (child of the
+// run span), annotated with its unit and the upstream tasks it is cabled
+// to, so a trace tree mirrors the workflow graph.
 func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, mu *sync.Mutex) (Values, error) {
 	t := g.Task(id)
 	in := Values{}
 	for k, v := range t.Params {
 		in[k] = v
 	}
+	var upstream []string
 	mu.Lock()
 	for _, c := range g.Cables() {
 		if c.ToTask != id {
@@ -199,8 +228,19 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 			return nil, fmt.Errorf("upstream %s produced no %q output", c.FromTask, c.FromPort)
 		}
 		in[c.ToPort] = v
+		upstream = append(upstream, c.FromTask)
 	}
 	mu.Unlock()
+
+	reg := e.obsReg()
+	ctx, span := obs.StartSpan(ctx, "workflow", "task:"+id)
+	span.SetAttr("unit", t.Unit.Name())
+	if len(upstream) > 0 {
+		span.SetAttr("upstream", strings.Join(upstream, ","))
+	}
+	inflight := reg.Gauge("workflow_inflight_tasks")
+	inflight.Add(1)
+	defer inflight.Add(-1)
 
 	units := append([]Unit{t.Unit}, t.Alternates...)
 	maxAttempts := t.Retries + 1
@@ -214,19 +254,31 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 		began := time.Now()
 		out, err := u.Run(ctx, in)
 		dur := time.Since(began)
+		reg.Histogram("workflow_task_wall_ms").Observe(float64(dur) / float64(time.Millisecond))
 		if err == nil {
 			e.emit(Event{Kind: TaskFinished, TaskID: id, UnitName: u.Name(), Attempt: attempt, Duration: dur})
+			reg.Counter("workflow_tasks_total", "status=ok").Inc()
+			span.SetAttr("attempt", strconv.Itoa(attempt))
+			span.End(nil)
+			wfLog.Debug(ctx, "task", "id", id, "unit", u.Name(), "attempt", attempt,
+				"dur_ms", fmt.Sprintf("%.1f", float64(dur)/float64(time.Millisecond)))
 			return out, nil
 		}
 		lastErr = err
 		e.emit(Event{Kind: TaskFailed, TaskID: id, UnitName: u.Name(), Attempt: attempt, Err: err, Duration: dur})
+		wfLog.Warn(ctx, "task", "id", id, "unit", u.Name(), "attempt", attempt, "err", err)
 		if ctx.Err() != nil {
+			reg.Counter("workflow_tasks_total", "status=cancelled").Inc()
+			span.End(ctx.Err())
 			return nil, ctx.Err()
 		}
 		if attempt+1 < maxAttempts {
 			next := units[(attempt+1)%len(units)]
 			e.emit(Event{Kind: TaskRetried, TaskID: id, UnitName: next.Name(), Attempt: attempt + 1})
+			reg.Counter("workflow_task_retries_total").Inc()
 		}
 	}
+	reg.Counter("workflow_tasks_total", "status=failed").Inc()
+	span.End(lastErr)
 	return nil, lastErr
 }

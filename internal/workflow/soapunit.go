@@ -20,7 +20,7 @@ type SOAPUnit struct {
 	Service   string
 	Operation string
 	In, Out   []string
-	// Client defaults to the package-level SOAP client.
+	// Client overrides the package-level default SOAP client when set.
 	Client *soap.Client
 }
 
@@ -34,8 +34,8 @@ func (u *SOAPUnit) Inputs() []string { return u.In }
 func (u *SOAPUnit) Outputs() []string { return u.Out }
 
 // Run implements Unit: only declared input parts are forwarded; inputs left
-// unset are sent as empty parts only if absent is not acceptable, i.e. they
-// are simply omitted.
+// unset are simply omitted. The call is context-first, so cancellation and
+// the caller's trace context propagate into the SOAP request.
 func (u *SOAPUnit) Run(ctx context.Context, in Values) (Values, error) {
 	parts := map[string]string{}
 	for _, name := range u.In {
@@ -43,29 +43,19 @@ func (u *SOAPUnit) Run(ctx context.Context, in Values) (Values, error) {
 			parts[name] = v
 		}
 	}
-	client := u.Client
-	if client == nil {
-		client = soap.DefaultClient
-	}
-	// Honour ctx cancellation by bounding the HTTP call.
-	type callResult struct {
+	var (
 		out map[string]string
 		err error
+	)
+	if u.Client != nil {
+		out, err = u.Client.CallContext(ctx, u.Endpoint, u.Operation, parts)
+	} else {
+		out, err = soap.CallContext(ctx, u.Endpoint, u.Operation, parts)
 	}
-	ch := make(chan callResult, 1)
-	go func() {
-		out, err := client.Call(u.Endpoint, u.Operation, parts)
-		ch <- callResult{out, err}
-	}()
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return nil, r.err
-		}
-		return Values(r.out), nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err != nil {
+		return nil, err
 	}
+	return Values(out), nil
 }
 
 // Spec implements Specced.

@@ -14,7 +14,7 @@ import (
 func echoServer(t *testing.T) (*httptest.Server, *wsdl.Description) {
 	t.Helper()
 	ep := soap.NewEndpoint("Echo")
-	ep.Handle("shout", func(parts map[string]string) (map[string]string, error) {
+	ep.Handle("shout", func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 		return map[string]string{"reply": strings.ToUpper(parts["text"])}, nil
 	})
 	desc := &wsdl.Description{
@@ -91,7 +91,7 @@ func TestImportWSDLErrors(t *testing.T) {
 
 func TestSOAPUnitFaultSurfacesAsError(t *testing.T) {
 	ep := soap.NewEndpoint("F")
-	ep.Handle("fail", func(parts map[string]string) (map[string]string, error) {
+	ep.Handle("fail", func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 		return nil, &soap.Fault{Code: "soap:Server", String: "nope"}
 	})
 	srv := httptest.NewServer(ep)

@@ -1,0 +1,96 @@
+#!/bin/sh
+# scripts/smoke.sh — end-to-end smoke over the observability layer: start a
+# real dmserver, probe /healthz and /metrics, then run a small dmexp batch
+# against the registry and check that ONE trace ID crosses the client log,
+# the server log and the journal. Run from the repo root.
+set -eu
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/dmserver" ./cmd/dmserver
+go build -o "$WORK/dmexp" ./cmd/dmexp
+
+"$WORK/dmserver" -addr 127.0.0.1:0 -log-level info >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# The server prints its ephemeral base URL; wait for it.
+BASE=""
+i=0
+while [ $i -lt 50 ]; do
+	BASE=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/server.log" | head -1)
+	[ -n "$BASE" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$BASE" ]; then
+	echo "smoke: dmserver did not start" >&2
+	cat "$WORK/server.log" >&2
+	exit 1
+fi
+
+# /healthz must answer 200 ok.
+code=$(curl -fsS -o "$WORK/health.json" -w '%{http_code}' "$BASE/healthz")
+if [ "$code" != 200 ] || ! grep -q '"ok"' "$WORK/health.json"; then
+	echo "smoke: /healthz -> $code: $(cat "$WORK/health.json")" >&2
+	exit 1
+fi
+
+cat >"$WORK/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "folds": 3,
+  "datasets": [{"name": "breast-cancer", "builtin": "breast-cancer"}],
+  "algorithms": [{"algorithm": "J48"}]
+}
+EOF
+
+# Registry-discovered remote dispatch with trace collection; client-side
+# structured logs land on stderr.
+"$WORK/dmexp" run -spec "$WORK/spec.json" -journal "$WORK/batch.jsonl" \
+	-registry "$BASE/registry" -trace -log-level info \
+	>"$WORK/dmexp.out" 2>"$WORK/client.log"
+
+# The journal records the batch's trace ID; exactly one ID must cross every
+# layer: journal, client log, server log, and the printed trace tree.
+TRACE=$(sed -n 's/.*"traceId":"\([^"]*\)".*/\1/p' "$WORK/batch.jsonl" | sort -u)
+if [ -z "$TRACE" ]; then
+	echo "smoke: journal carries no traceId" >&2
+	cat "$WORK/batch.jsonl" >&2
+	exit 1
+fi
+if [ "$(printf '%s\n' "$TRACE" | wc -l)" -ne 1 ]; then
+	echo "smoke: journal has several trace IDs:" >&2
+	printf '%s\n' "$TRACE" >&2
+	exit 1
+fi
+for probe in "trace=$TRACE:$WORK/client.log" "trace=$TRACE:$WORK/server.log" "trace $TRACE:$WORK/client.log"; do
+	pat=${probe%%:*}
+	file=${probe#*:}
+	if ! grep -q "$pat" "$file"; then
+		echo "smoke: $pat absent from $file" >&2
+		tail -20 "$file" >&2
+		exit 1
+	fi
+done
+
+# /metrics must now carry non-zero soap and harness counters.
+curl -fsS "$BASE/metrics" >"$WORK/metrics.json"
+if [ ! -s "$WORK/metrics.json" ]; then
+	echo "smoke: /metrics returned an empty body" >&2
+	exit 1
+fi
+for want in soap_server_requests_total harness_cache_; do
+	if ! grep -q "\"$want" "$WORK/metrics.json"; then
+		echo "smoke: no $want metric at /metrics" >&2
+		cat "$WORK/metrics.json" >&2
+		exit 1
+	fi
+done
+
+echo "smoke: ok (base=$BASE trace=$TRACE)"

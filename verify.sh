@@ -1,9 +1,19 @@
 #!/bin/sh
-# verify.sh — the full local gate: build, vet, tests, then the race
-# detector over the whole module. Run from the repo root.
+# verify.sh — the full local gate: formatting, build, vet, tests, the race
+# detector over the whole module, then the end-to-end smoke (live dmserver,
+# /healthz + /metrics probes, traced dmexp batch). Run from the repo root.
 set -eux
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+./scripts/smoke.sh

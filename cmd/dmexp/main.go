@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,8 +65,13 @@ run/resume flags:
   -timeout D        per-job-attempt timeout, e.g. 90s (default none)
   -retries N        retries per job on transient errors (default 2)
   -registry URL     discover classifier services from this registry and
-                    dispatch jobs remotely instead of in-process
+                    dispatch jobs remotely instead of in-process; the
+                    registry is re-inquired when endpoints fail
   -endpoints a,b    dispatch to these SOAP classifier endpoints directly
+  -breaker-failures N  consecutive failures that trip an endpoint's
+                    circuit breaker (default 5)
+  -metrics-out file write the client-side metrics snapshot (breaker
+                    opens, ejections, retries) as JSON after the batch
   -resume           skip jobs already completed in the journal
   -v                log per-job scheduler events
   -trace            print the batch's trace tree (per-job spans and their
@@ -83,6 +89,8 @@ func runCmd(args []string, resumeDefault bool) {
 	retries := fs.Int("retries", 2, "retries per job on transient errors")
 	registryURL := fs.String("registry", "", "registry URL for remote dispatch")
 	endpoints := fs.String("endpoints", "", "comma-separated SOAP classifier endpoints for remote dispatch")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures tripping an endpoint breaker (0 = default 5)")
+	metricsOut := fs.String("metrics-out", "", "write the client-side metrics snapshot as JSON to this file after the batch")
 	resume := fs.Bool("resume", resumeDefault, "skip jobs completed in the journal")
 	verbose := fs.Bool("v", false, "log scheduler events")
 	trace := fs.Bool("trace", false, "collect spans and print the batch's trace tree on completion")
@@ -138,6 +146,7 @@ func runCmd(args []string, resumeDefault bool) {
 		if err != nil {
 			fatal(err)
 		}
+		remote.Breaker.FailureThreshold = *breakerFailures
 		fmt.Fprintf(os.Stderr, "dmexp: dispatching to %d classifier service(s) from %s\n",
 			len(remote.Endpoints()), *registryURL)
 		exec = remote
@@ -146,6 +155,7 @@ func runCmd(args []string, resumeDefault bool) {
 		if err != nil {
 			fatal(err)
 		}
+		remote.Breaker.FailureThreshold = *breakerFailures
 		exec = remote
 	}
 
@@ -187,6 +197,14 @@ func runCmd(args []string, resumeDefault bool) {
 	if collector != nil {
 		fmt.Fprint(os.Stderr, collector.TreeString())
 	}
+	// The failover evidence (breaker opens, endpoint ejections, retries)
+	// lives in this process's metrics, not the servers'. Dump it before
+	// deciding the exit code so an interrupted batch still leaves a trace.
+	if *metricsOut != "" {
+		if werr := writeMetrics(*metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "dmexp: writing metrics: %v\n", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmexp: batch interrupted: %v (journal keeps %d records; rerun with -resume)\n",
 			err, journalLen(journal))
@@ -199,6 +217,15 @@ func runCmd(args []string, resumeDefault bool) {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeMetrics dumps the process-wide metrics snapshot as JSON.
+func writeMetrics(path string) error {
+	data, err := json.MarshalIndent(obs.Default.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func journalLen(j *experiment.Journal) int {

@@ -1,27 +1,49 @@
 // Command dmregistry runs a standalone UDDI-style service registry — the
 // jUDDI role of the paper's deployment, whose inquiry interface the paper
 // publishes at agents-comsc.grid.cf.ac.uk:8334/juddi/inquiry (§4.6).
+// Several dmservers publish into it (dmserver -publish) and clients
+// discover every live endpoint of a service through /inquiry.
 //
 // Usage:
 //
-//	dmregistry [-addr 127.0.0.1:8335]
+//	dmregistry [-addr 127.0.0.1:8335] [-ttl 15s]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"time"
 
 	"repro/internal/registry"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8335", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8335", "listen address (use :0 for an ephemeral port)")
+	ttl := flag.Duration("ttl", 0, "age out entries not re-published within this window (0 = never)")
 	flag.Parse()
+
 	r := registry.New()
-	fmt.Printf("dmregistry listening on http://%s (GET /inquiry, POST /publish, POST /remove)\n", *addr)
-	if err := http.ListenAndServe(*addr, r.Handler()); err != nil {
+	if *ttl > 0 {
+		r = registry.NewWithTTL(*ttl)
+		go func() {
+			sweepEvery := *ttl / 2
+			if sweepEvery < time.Second {
+				sweepEvery = time.Second
+			}
+			for range time.Tick(sweepEvery) {
+				r.Sweep()
+			}
+		}()
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dmregistry: %v", err)
+	}
+	fmt.Printf("dmregistry listening on http://%s (GET /inquiry, POST /publish, POST /remove)\n", ln.Addr())
+	if err := http.Serve(ln, r.Handler()); err != nil {
 		log.Fatalf("dmregistry: %v", err)
 	}
 }

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	dmserver [-addr 127.0.0.1:8334] [-backend cached|serialising] [-cache 64] [-store DIR]
+//	         [-publish URL] [-heartbeat 5s] [-ttl 15s]
+//	         [-chaos 'fault=0.3;op=classifyInstance,latency=200ms'] [-chaos-seed 1]
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
@@ -28,6 +32,11 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "instance pool bound for the cached backend")
 	storeDir := flag.String("store", "", "model store directory (default: a temp dir; required meaningfully for -backend serialising)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	publishURL := flag.String("publish", "", "external registry base URL to publish this host's services to (e.g. http://127.0.0.1:8335)")
+	heartbeat := flag.Duration("heartbeat", 0, "re-publish services at this interval (0 = publish once at startup)")
+	ttl := flag.Duration("ttl", 0, "age out own-registry entries not re-published within this window (0 = never)")
+	chaosRules := flag.String("chaos", "", "fault-injection rules for /services/, e.g. 'fault=0.3;op=classifyInstance,latency=200ms'")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic chaos dice")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -58,11 +67,37 @@ func main() {
 		log.Fatalf("dmserver: unknown backend %q", *backendKind)
 	}
 
-	d, err := core.Deploy(*addr, backend)
+	var opts []core.Option
+	if *chaosRules != "" {
+		rules, err := chaos.ParseRules(*chaosRules)
+		if err != nil {
+			log.Fatalf("dmserver: %v", err)
+		}
+		opts = append(opts, core.WithChaos(chaos.New(*chaosSeed, rules...)))
+		fmt.Printf("dmserver: CHAOS ENABLED (%d rule(s), seed %d)\n", len(rules), *chaosSeed)
+	}
+	if *heartbeat > 0 || *ttl > 0 {
+		beat := *heartbeat
+		if beat <= 0 {
+			beat = *ttl / 3
+			if beat <= 0 {
+				beat = 5 * time.Second
+			}
+		}
+		opts = append(opts, core.WithHeartbeat(beat, *ttl))
+	}
+	if *publishURL != "" {
+		opts = append(opts, core.WithExternalRegistry(*publishURL))
+	}
+
+	d, err := core.Deploy(*addr, backend, opts...)
 	if err != nil {
 		log.Fatalf("dmserver: %v", err)
 	}
 	fmt.Printf("dmserver listening on %s (backend: %s)\n", d.BaseURL, *backendKind)
+	if *publishURL != "" {
+		fmt.Printf("publishing services to %s\n", *publishURL)
+	}
 	fmt.Printf("registry inquiry: %s/inquiry\n", d.RegistryURL())
 	fmt.Printf("metrics: %s/metrics  health: %s/healthz\n", d.BaseURL, d.BaseURL)
 	for _, name := range d.ServiceNames() {

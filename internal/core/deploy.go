@@ -5,17 +5,22 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dataaccess"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/services"
 	"repro/internal/workflow"
 )
+
+var coreLog = obs.L("core")
 
 // Deployment is a running instance of the toolkit's service side: every
 // data-mining Web Service hosted on one HTTP server plus a UDDI-style
@@ -26,15 +31,59 @@ type Deployment struct {
 	Registry *registry.Registry
 	Backend  harness.Backend
 
-	svcNames []string
-	server   *http.Server
-	ln       net.Listener
+	svcNames  []string
+	entries   []registry.Entry
+	server    *http.Server
+	ln        net.Listener
+	stopOnce  sync.Once
+	stopBeat  chan struct{}
+	beatDone  chan struct{}
+	extClient *registry.Client
+}
+
+// deployConfig collects the optional deployment behaviours.
+type deployConfig struct {
+	injector    *chaos.Injector
+	heartbeat   time.Duration
+	ttl         time.Duration
+	externalReg string
+}
+
+// Option configures a Deployment.
+type Option func(*deployConfig)
+
+// WithChaos injects faults into the /services/ handlers (and only them:
+// /registry, /metrics and /healthz stay clean so the chaotic host can
+// still be observed). A nil injector is a no-op.
+func WithChaos(inj *chaos.Injector) Option {
+	return func(c *deployConfig) { c.injector = inj }
+}
+
+// WithHeartbeat re-publishes every hosted service each interval — to the
+// deployment's own registry and any external one — and gives the own
+// registry a TTL, so entries from publishers that die disappear after ttl.
+// The heartbeat also sweeps expired entries. ttl should comfortably
+// exceed interval (3× is a good start).
+func WithHeartbeat(interval, ttl time.Duration) Option {
+	return func(c *deployConfig) { c.heartbeat = interval; c.ttl = ttl }
+}
+
+// WithExternalRegistry additionally publishes every hosted service to the
+// shared registry at baseURL — the paper's central jUDDI node — so
+// several dmservers become discoverable alternates for the same service
+// names. Entries are withdrawn on Close.
+func WithExternalRegistry(baseURL string) Option {
+	return func(c *deployConfig) { c.externalReg = baseURL }
 }
 
 // Deploy starts all toolkit services on addr (use "127.0.0.1:0" for an
 // ephemeral port). backend selects the §4.5 instance-management strategy;
 // nil defaults to the paper's in-memory harness.
-func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
+func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, error) {
+	var cfg deployConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if backend == nil {
 		backend = harness.NewCachedBackend(64)
 	}
@@ -44,6 +93,9 @@ func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
 	}
 	baseURL := "http://" + ln.Addr().String()
 	reg := registry.New()
+	if cfg.ttl > 0 {
+		reg = registry.NewWithTTL(cfg.ttl)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/registry/", http.StripPrefix("/registry", reg.Handler()))
 	// Observability endpoints: process metrics as JSON and a liveness probe.
@@ -78,24 +130,85 @@ func Deploy(addr string, backend harness.Backend) (*Deployment, error) {
 		services.NewMathService(),
 		services.NewTreeAnalyzerService(),
 	}
-	services.Host(mux, baseURL, svcs...)
+	// Services live on their own sub-mux so chaos wraps them alone: the
+	// registry and observability endpoints of a chaotic host stay clean.
+	svcMux := http.NewServeMux()
+	services.Host(svcMux, baseURL, svcs...)
+	mux.Handle("/services/", cfg.injector.Wrap(svcMux))
+
 	d := &Deployment{BaseURL: baseURL, Registry: reg, Backend: backend, ln: ln}
+	if cfg.externalReg != "" {
+		d.extClient = &registry.Client{BaseURL: cfg.externalReg, Policy: &resilience.Policy{}}
+	}
 	for _, s := range svcs {
 		d.svcNames = append(d.svcNames, s.Name)
-		if err := reg.Publish(registry.Entry{
-			Name:        s.Name,
-			Category:    s.Category,
-			WSDLURL:     d.WSDLURL(s.Name),
-			Endpoint:    d.EndpointURL(s.Name),
-			Description: s.Description(),
-		}); err != nil {
+		d.entries = append(d.entries, d.entryFor(s.Name, s.Category, s.Description()))
+	}
+	for _, e := range d.entries {
+		if err := d.publishOne(e); err != nil {
 			ln.Close()
 			return nil, err
 		}
 	}
 	d.server = &http.Server{Handler: mux}
 	go func() { _ = d.server.Serve(ln) }()
+	if cfg.heartbeat > 0 {
+		d.stopBeat = make(chan struct{})
+		d.beatDone = make(chan struct{})
+		go d.heartbeatLoop(cfg.heartbeat)
+	}
 	return d, nil
+}
+
+// entryFor builds the registry entry of a hosted service.
+func (d *Deployment) entryFor(name, category, description string) registry.Entry {
+	return registry.Entry{
+		Name:        name,
+		Category:    category,
+		WSDLURL:     d.WSDLURL(name),
+		Endpoint:    d.EndpointURL(name),
+		Description: description,
+	}
+}
+
+// publishOne publishes a service entry to the deployment's own registry
+// and, if configured, the external one. External-registry failures are
+// logged, not fatal: the heartbeat keeps trying, so a registry that boots
+// late still learns about this host.
+func (d *Deployment) publishOne(e registry.Entry) error {
+	if err := d.Registry.Publish(e); err != nil {
+		return err
+	}
+	if d.extClient != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d.extClient.PublishContext(ctx, e); err != nil {
+			coreLog.Warn(nil, "external_publish_failed", "service", e.Name, "err", err)
+			obs.Default.Counter("core_external_publish_errors_total").Inc()
+		}
+	}
+	return nil
+}
+
+// heartbeatLoop re-publishes every service each interval (the liveness
+// signal a TTL registry needs) and sweeps the own registry's expired
+// entries. It runs until Close.
+func (d *Deployment) heartbeatLoop(interval time.Duration) {
+	defer close(d.beatDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopBeat:
+			return
+		case <-ticker.C:
+			for _, e := range d.entries {
+				_ = d.publishOne(e)
+			}
+			d.Registry.Sweep()
+			obs.Default.Counter("core_heartbeats_total").Inc()
+		}
+	}
 }
 
 // ServiceNames lists the deployed services.
@@ -117,8 +230,24 @@ func (d *Deployment) WSDLURL(service string) string {
 // RegistryURL returns the base URL of the deployment's registry.
 func (d *Deployment) RegistryURL() string { return d.BaseURL + "/registry" }
 
-// Close shuts the HTTP server down.
+// Close stops the heartbeat, withdraws the deployment's entries from any
+// external registry and shuts the HTTP server down.
 func (d *Deployment) Close() error {
+	d.stopOnce.Do(func() {
+		if d.stopBeat != nil {
+			close(d.stopBeat)
+			<-d.beatDone
+		}
+		if d.extClient != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for _, e := range d.entries {
+				if err := d.extClient.RemoveContext(ctx, e.Name, e.Endpoint); err != nil {
+					coreLog.Warn(nil, "external_remove_failed", "service", e.Name, "err", err)
+				}
+			}
+		}
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return d.server.Shutdown(ctx)

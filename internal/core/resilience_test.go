@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/registry"
+	"repro/internal/soap"
+)
+
+// httpGet returns the status code of a plain GET.
+func httpGet(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestDeployWithExternalRegistry: a deployment publishes every service to
+// the shared registry, heartbeats keep the entries alive, and Close
+// withdraws them — the multi-host discovery story behind failover.
+func TestDeployWithExternalRegistry(t *testing.T) {
+	shared := registry.NewWithTTL(2 * time.Second)
+	regSrv := httptest.NewServer(shared.Handler())
+	defer regSrv.Close()
+
+	d, err := Deploy("127.0.0.1:0", nil,
+		WithExternalRegistry(regSrv.URL),
+		WithHeartbeat(50*time.Millisecond, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := shared.Inquire("", "classifier")
+	if len(entries) == 0 {
+		t.Fatal("no classifier services published to the external registry")
+	}
+	first := entries[0].LastSeen
+	// The heartbeat refreshes LastSeen.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never refreshed the external entry")
+		}
+		time.Sleep(60 * time.Millisecond)
+		if e, ok := shared.Get(entries[0].Name); ok && e.LastSeen.After(first) {
+			break
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Inquire("", ""); len(got) != 0 {
+		t.Fatalf("%d entries survived Close's withdrawal", len(got))
+	}
+}
+
+// TestDeployWithChaosScopesInjection: chaos breaks /services/ calls but
+// leaves /healthz, /metrics and /registry untouched, so a chaotic host
+// remains observable and discoverable.
+func TestDeployWithChaosScopesInjection(t *testing.T) {
+	inj := chaos.New(1, chaos.Rule{FaultRate: 1})
+	d, err := Deploy("127.0.0.1:0", nil, WithChaos(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	_, err = soap.CallContext(context.Background(), d.EndpointURL("Classifier"), "getClassifiers", nil)
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != "soap:Server" {
+		t.Fatalf("chaotic service call error = %v, want injected soap:Server fault", err)
+	}
+	for _, path := range []string{"/healthz", "/metrics", "/registry/inquiry"} {
+		resp, err := httpGet(d.BaseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp != 200 {
+			t.Fatalf("GET %s = %d on a chaotic host, want 200", path, resp)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/url"
 
+	"repro/internal/resilience"
 	"repro/internal/soap"
 )
 
@@ -45,6 +46,11 @@ func IsTransient(err error) bool {
 	}
 	var te *TransientError
 	if errors.As(err, &te) {
+		return true
+	}
+	// An open breaker or an emptied pool is a momentary condition: the
+	// cooldown elapses or the registry lists new endpoints.
+	if errors.Is(err, resilience.ErrOpen) || errors.Is(err, resilience.ErrNoHealthyEndpoint) {
 		return true
 	}
 	var fault *soap.Fault

@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func TestMultiEndpointPublish(t *testing.T) {
+	r := New()
+	_ = r.Publish(Entry{Name: "Classifier", Category: "classifier", Endpoint: "http://a/svc"})
+	_ = r.Publish(Entry{Name: "Classifier", Category: "classifier", Endpoint: "http://b/svc"})
+	got := r.Inquire("Classifier", "")
+	if len(got) != 2 {
+		t.Fatalf("replicated service listed %d endpoints, want 2", len(got))
+	}
+	if got[0].Endpoint != "http://a/svc" || got[1].Endpoint != "http://b/svc" {
+		t.Fatalf("endpoints = %q, %q", got[0].Endpoint, got[1].Endpoint)
+	}
+	// Re-publishing one endpoint refreshes, not duplicates.
+	_ = r.Publish(Entry{Name: "Classifier", Category: "classifier", Endpoint: "http://a/svc"})
+	if got := r.Inquire("Classifier", ""); len(got) != 2 {
+		t.Fatalf("heartbeat duplicated the entry: %d", len(got))
+	}
+	r.RemoveEndpoint("Classifier", "http://a/svc")
+	got = r.Inquire("Classifier", "")
+	if len(got) != 1 || got[0].Endpoint != "http://b/svc" {
+		t.Fatalf("after endpoint removal: %v", got)
+	}
+	// Remove by name clears the rest.
+	r.Remove("Classifier")
+	if got := r.Inquire("", ""); len(got) != 0 {
+		t.Fatalf("entries after Remove = %v", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	r := NewWithTTL(time.Minute)
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+
+	_ = r.Publish(Entry{Name: "Stale", Endpoint: "http://old"})
+	clock = clock.Add(30 * time.Second)
+	_ = r.Publish(Entry{Name: "Fresh", Endpoint: "http://new"})
+
+	if got := r.Inquire("", ""); len(got) != 2 {
+		t.Fatalf("both live, inquire = %v", got)
+	}
+	// 61s after Stale's publish: only Fresh remains visible.
+	clock = clock.Add(31 * time.Second)
+	got := r.Inquire("", "")
+	if len(got) != 1 || got[0].Name != "Fresh" {
+		t.Fatalf("expired entry still inquired: %v", got)
+	}
+	if _, ok := r.Get("Stale"); ok {
+		t.Fatal("Get returned an expired entry")
+	}
+	// A heartbeat resurrects it.
+	_ = r.Publish(Entry{Name: "Stale", Endpoint: "http://old"})
+	if _, ok := r.Get("Stale"); !ok {
+		t.Fatal("re-published entry not live")
+	}
+	// Sweep physically removes what has expired.
+	clock = clock.Add(2 * time.Minute)
+	if removed := r.Sweep(); removed != 2 {
+		t.Fatalf("sweep removed %d, want 2", removed)
+	}
+	if got := r.Inquire("", ""); len(got) != 0 {
+		t.Fatalf("entries after sweep = %v", got)
+	}
+}
+
+func TestGetPrefersFreshestEndpoint(t *testing.T) {
+	r := New()
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+	_ = r.Publish(Entry{Name: "S", Endpoint: "http://old", WSDLURL: "old"})
+	clock = clock.Add(time.Second)
+	_ = r.Publish(Entry{Name: "S", Endpoint: "http://new", WSDLURL: "new"})
+	if e, _ := r.Get("S"); e.WSDLURL != "new" {
+		t.Fatalf("Get = %+v, want the most recently seen endpoint", e)
+	}
+}
+
+// TestClientRetries: a 500 answer retries under the policy; a 400 does
+// not (the request will not get better).
+func TestClientRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "boot in progress", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL,
+		Policy: &resilience.Policy{MaxAttempts: 3, BackoffBase: time.Millisecond}}
+	if err := c.PublishContext(context.Background(), Entry{Name: "X"}); err != nil {
+		t.Fatalf("publish with retries failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+
+	var badCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		badCalls.Add(1)
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	c2 := &Client{BaseURL: bad.URL,
+		Policy: &resilience.Policy{MaxAttempts: 5, BackoffBase: time.Millisecond}}
+	if err := c2.PublishContext(context.Background(), Entry{Name: "X"}); err == nil {
+		t.Fatal("400 publish succeeded")
+	}
+	if got := badCalls.Load(); got != 1 {
+		t.Fatalf("permanent 400 retried: %d attempts", got)
+	}
+}
+
+func TestEndpointSource(t *testing.T) {
+	r := New()
+	_ = r.Publish(Entry{Name: "Classifier", Category: "classifier", Endpoint: "http://a/svc"})
+	_ = r.Publish(Entry{Name: "Classifier", Category: "classifier", Endpoint: "http://b/svc"})
+	_ = r.Publish(Entry{Name: "Plot", Category: "visualisation", Endpoint: "http://c/plot"})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	src := (&Client{BaseURL: srv.URL}).EndpointSource("Classifier", "classifier")
+	eps, err := src(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 || eps[0] != "http://a/svc" || eps[1] != "http://b/svc" {
+		t.Fatalf("source endpoints = %v", eps)
+	}
+}
+
+func TestHTTPRemoveByEndpoint(t *testing.T) {
+	r := New()
+	_ = r.Publish(Entry{Name: "S", Endpoint: "http://a"})
+	_ = r.Publish(Entry{Name: "S", Endpoint: "http://b"})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/remove?name=S&endpoint=http%3A%2F%2Fa", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Fatalf("remove status = %d", resp.StatusCode)
+	}
+	got := r.Inquire("", "")
+	if len(got) != 1 || got[0].Endpoint != "http://b" {
+		t.Fatalf("entries after endpoint remove = %v", got)
+	}
+}

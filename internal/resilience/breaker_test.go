@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock, *obs.Registry) {
+	reg := obs.NewRegistry()
+	b := NewBreaker("http://svc", cfg, reg)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clock.now
+	return b, clock, reg
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _, reg := newTestBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(Retryable)
+		if b.State() != StateClosed {
+			t.Fatalf("tripped after %d failures, threshold is 3", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	b.Record(Success)
+	b.Record(Retryable)
+	b.Record(Retryable)
+	if b.State() != StateClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+	b.Record(Retryable)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if got := reg.Counter("resilience_breaker_opens_total", "endpoint=http://svc").Value(); got != 1 {
+		t.Fatalf("opens counter = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clock, _ := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Record(Retryable)
+	if b.State() != StateOpen {
+		t.Fatal("breaker not open")
+	}
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Failed probe reopens.
+	b.Record(Retryable)
+	if b.State() != StateOpen {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Record(Success)
+	if b.State() != StateClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+func TestBreakerErrorRateTrip(t *testing.T) {
+	b, _, _ := newTestBreaker(BreakerConfig{
+		FailureThreshold: 100, // out of reach: only the rate can trip
+		ErrorRate:        0.5,
+		Window:           4,
+		Cooldown:         time.Second,
+	})
+	// Alternate success/failure: 50% failure rate over a full window.
+	b.Record(Retryable)
+	b.Record(Success)
+	b.Record(Retryable)
+	if b.State() != StateClosed {
+		t.Fatal("rate tripped before the window filled")
+	}
+	b.Record(Success)
+	// Window full at 2/4 failures; next failure evaluates at >= 0.5.
+	b.Record(Retryable)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open at 50%% error rate", b.State())
+	}
+}
+
+// soap:Client faults mean the caller erred, not the endpoint: they must
+// never trip the breaker. Aborted outcomes release the probe slot.
+func TestBreakerOutcomeSemantics(t *testing.T) {
+	b, clock, _ := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	for i := 0; i < 10; i++ {
+		b.Record(Permanent)
+	}
+	if b.State() != StateClosed {
+		t.Fatal("permanent (caller) faults tripped the breaker")
+	}
+	b.Record(Retryable)
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Record(Aborted) // caller gave up; endpoint unjudged
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open after aborted probe", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("aborted probe did not release the probe slot")
+	}
+}
+
+func TestNilBreakerIsOpenBar(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker rejected a call")
+	}
+	b.Record(Retryable) // must not panic
+	if b.State() != StateClosed {
+		t.Fatal("nil breaker not closed")
+	}
+	var s *BreakerSet
+	if s.For("x") != nil {
+		t.Fatal("nil set returned a breaker")
+	}
+	s.Prune(nil) // must not panic
+}
+
+func TestBreakerSetPrune(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{FailureThreshold: 1}, obs.NewRegistry())
+	s.For("a").Record(Retryable)
+	s.For("b")
+	s.Prune(map[string]bool{"b": true})
+	if got := s.For("a").State(); got != StateClosed {
+		t.Fatalf("pruned breaker kept state %v", got)
+	}
+}

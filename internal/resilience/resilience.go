@@ -1,0 +1,203 @@
+// Package resilience is the policy-driven invocation substrate behind
+// every remote call the toolkit makes. The paper's headline claim for
+// FAEHIM is fault-tolerant composition: when a deployed data-mining
+// service fails, the workflow engine locates an equivalent service via
+// the UDDI registry and re-invokes it (§3, §4). This package provides
+// the three mechanisms that claim needs in practice:
+//
+//   - Policy: retry with exponential backoff + deterministic jitter and
+//     fault classification (network errors and soap:Server faults are
+//     retryable, soap:Client faults are not, a dead caller context
+//     aborts).
+//   - Breaker: a per-endpoint three-state circuit breaker (closed →
+//     open on consecutive-failure or error-rate threshold → half-open
+//     probe) so a dead service stops receiving traffic instead of
+//     burning every caller's retry budget.
+//   - Pool: health-aware endpoint selection that ejects tripped
+//     endpoints from the rotation and refreshes itself from a registry
+//     inquiry — the paper's UDDI failover step — so newly published
+//     equivalent services join the rotation and dead ones leave.
+//
+// Every state change is exported through internal/obs so /metrics shows
+// the failover happening.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrOpen reports a call rejected because the endpoint's circuit breaker
+// is open. It is retryable: a later attempt may find the breaker
+// half-open or another endpoint healthy.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// ErrNoHealthyEndpoint reports a pool pick that found no endpoint whose
+// breaker admits traffic. It is retryable: cooldowns elapse and registry
+// refreshes add endpoints.
+var ErrNoHealthyEndpoint = errors.New("resilience: no healthy endpoint")
+
+// Class buckets a call outcome for retry and breaker decisions.
+type Class int
+
+const (
+	// Success is a nil error.
+	Success Class = iota
+	// Retryable failures (network errors, soap:Server faults, attempt
+	// timeouts) are worth re-invoking, preferably elsewhere.
+	Retryable
+	// Permanent failures (soap:Client faults — bad requests) fail
+	// immediately: retrying an unknown classifier never helps.
+	Permanent
+	// Aborted means the caller's context ended; no further attempts.
+	Aborted
+)
+
+// String renders the class for logs and metric labels.
+func (c Class) String() string {
+	switch c {
+	case Success:
+		return "success"
+	case Retryable:
+		return "retryable"
+	case Permanent:
+		return "permanent"
+	case Aborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyErr buckets an error by its shape alone. SOAP faults are
+// recognised through the FaultCode interface (the same contract
+// obs.FaultClass uses) so this package needs no dependency on the soap
+// package. A bare context.DeadlineExceeded is Retryable here — it is the
+// signature of a per-attempt timeout; use Classify when a caller context
+// is available to distinguish the caller's own deadline.
+func ClassifyErr(err error) Class {
+	if err == nil {
+		return Success
+	}
+	if errors.Is(err, context.Canceled) {
+		return Aborted
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Retryable
+	}
+	if errors.Is(err, ErrOpen) || errors.Is(err, ErrNoHealthyEndpoint) {
+		return Retryable
+	}
+	var fc interface{ FaultCode() string }
+	if errors.As(err, &fc) {
+		if fc.FaultCode() == "soap:Client" {
+			return Permanent
+		}
+		return Retryable
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return Retryable
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return Retryable
+	}
+	return Permanent
+}
+
+// Classify buckets an error in the light of the caller's context: once
+// ctx itself is done the outcome is Aborted regardless of the error —
+// the caller's deadline has passed and no retry can run.
+func Classify(ctx context.Context, err error) Class {
+	if ctx != nil && ctx.Err() != nil {
+		return Aborted
+	}
+	return ClassifyErr(err)
+}
+
+// Policy is a retry policy: attempt budget plus exponential backoff with
+// deterministic, seeded jitter. The zero value (and a nil *Policy) is
+// usable with the defaults below.
+type Policy struct {
+	// MaxAttempts bounds total attempts (first try included); <=0 means 3.
+	MaxAttempts int
+	// BackoffBase is the first retry delay, doubling each retry up to
+	// BackoffMax; <=0 means 50ms (and 2s for the cap). Each delay is
+	// jittered to 50-150% of its nominal value.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes the jitter sequence deterministic; 0 means 1.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// defaultPolicy backs nil *Policy receivers.
+var defaultPolicy = &Policy{}
+
+// Attempts returns the attempt budget.
+func (p *Policy) Attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the jittered delay after attempt completed attempts
+// (1-based): base<<(attempt-1) capped at max, scaled by a deterministic
+// uniform factor in [0.5, 1.5).
+func (p *Policy) Backoff(attempt int) time.Duration {
+	if p == nil {
+		p = defaultPolicy
+	}
+	base := p.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.BackoffMax
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	p.mu.Lock()
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	jitter := time.Duration(p.rng.Int63n(int64(d)))
+	p.mu.Unlock()
+	return d/2 + jitter
+}
+
+// Sleep waits the attempt's backoff or until ctx ends, returning ctx's
+// error in the latter case.
+func (p *Policy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var resLog = obs.L("resilience")

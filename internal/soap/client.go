@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // maxEnvelopeBytes bounds how much of a response body the client reads —
@@ -24,6 +25,8 @@ type Client struct {
 	observer    *obs.Registry
 	traceHeader bool
 	configured  bool
+	policy      *resilience.Policy
+	breakers    *resilience.BreakerSet
 }
 
 // Option configures a Client.
@@ -51,6 +54,23 @@ func WithObserver(reg *obs.Registry) Option {
 // context as a TraceContext SOAP header block (default on).
 func WithTraceHeader(enabled bool) Option {
 	return func(c *Client) { c.traceHeader = enabled }
+}
+
+// WithResilience retries retryable failures (network errors, soap:Server
+// faults) against the same URL under the policy's attempt budget and
+// backoff. soap:Client faults and context cancellation never retry. The
+// default (no policy) is a single attempt, preserving the pre-resilience
+// behaviour for callers that run their own retry loops.
+func WithResilience(p *resilience.Policy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
+// WithBreakers guards each called URL with a circuit breaker from the
+// set: calls to a tripped endpoint fail fast with resilience.ErrOpen
+// instead of burning a timeout. Share one set across clients to share
+// breaker state.
+func WithBreakers(s *resilience.BreakerSet) Option {
+	return func(c *Client) { c.breakers = s }
 }
 
 // NewClient builds a client over the shared pooled transport.
@@ -110,7 +130,7 @@ func (c *Client) CallContext(ctx context.Context, url, operation string, parts m
 	if tc, ok := obs.TraceFrom(ctx); ok && traceHeader {
 		msg.Trace = tc.HeaderValue()
 	}
-	out, err := c.do(ctx, url, operation, msg)
+	out, err := c.invoke(ctx, url, operation, msg)
 	span.End(err)
 
 	reg := c.obsReg()
@@ -124,6 +144,37 @@ func (c *Client) CallContext(ctx context.Context, url, operation string, parts m
 			"dur_ms", fmt.Sprintf("%.1f", span.DurationMS()))
 	}
 	return out, err
+}
+
+// invoke runs do under the client's resilience settings: the URL's
+// breaker gates each attempt, and a configured retry policy re-attempts
+// retryable failures against the same URL with backoff. Without a policy
+// it is a single (still breaker-gated) attempt.
+func (c *Client) invoke(ctx context.Context, url, operation string, msg Message) (map[string]string, error) {
+	attempts := 1
+	if c.policy != nil {
+		attempts = c.policy.Attempts()
+	}
+	var out map[string]string
+	var err error
+	for attempt := 1; ; attempt++ {
+		br := c.breakers.For(url) // nil set hands out nil (always-allow) breakers
+		if !br.Allow() {
+			err = fmt.Errorf("soap: %s %s: %w", operation, url, resilience.ErrOpen)
+		} else {
+			out, err = c.do(ctx, url, operation, msg)
+			br.Record(resilience.Classify(ctx, err))
+		}
+		if attempt >= attempts || resilience.Classify(ctx, err) != resilience.Retryable {
+			return out, err
+		}
+		c.obsReg().Counter("soap_client_retries_total", "op="+operation).Inc()
+		clientLog.Info(ctx, "retry", "op", operation, "endpoint", url,
+			"attempt", fmt.Sprint(attempt), "err", err)
+		if sleepErr := c.policy.Sleep(ctx, attempt); sleepErr != nil {
+			return out, err
+		}
+	}
 }
 
 // do performs the marshalled HTTP round trip.
@@ -174,7 +225,12 @@ func (c *Client) do(ctx context.Context, url, operation string, msg Message) (ma
 				String: fmt.Sprintf("HTTP %s from %s", resp.Status, url),
 				Detail: bodySnippet(raw)}
 		}
-		return nil, err
+		// A 2xx whose body is not a well-formed envelope: the server (or
+		// something between) garbled the response. Type it soap:Server so
+		// retry policies treat it like a server failure, not caller error.
+		return nil, &Fault{Code: "soap:Server",
+			String: fmt.Sprintf("malformed response envelope from %s", url),
+			Detail: err.Error()}
 	}
 	if want := operation + "Response"; reply.Operation != want {
 		return nil, fmt.Errorf("soap: expected %s, got %s", want, reply.Operation)

@@ -48,13 +48,15 @@ func TestBareHTTPErrorsMapToFaults(t *testing.T) {
 		t.Fatalf("404 error = %v, want soap:Client fault", err)
 	}
 
-	// A 200 with a non-envelope body is a protocol error, not a fault.
+	// A 200 with a non-envelope body means the server garbled its reply:
+	// it maps to a retryable soap:Server fault, like a truncated response.
 	_, err = CallContext(context.Background(), srv.URL+"/garbage", "op", nil)
-	if err == nil {
-		t.Fatal("non-envelope 200 accepted")
+	f, ok = err.(*Fault)
+	if !ok || f.Code != "soap:Server" {
+		t.Fatalf("non-envelope 200 error = %v, want soap:Server fault", err)
 	}
-	if _, isFault := err.(*Fault); isFault {
-		t.Errorf("non-envelope 200 mapped to fault: %v", err)
+	if !strings.Contains(f.String, "malformed response envelope") {
+		t.Errorf("malformed-envelope fault = %+v", f)
 	}
 }
 

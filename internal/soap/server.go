@@ -102,7 +102,7 @@ func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		e.fault(ctx, w, msg.Operation, f)
 		return
 	}
-	out, err := h(ctx, msg.Parts)
+	out, err := e.safeCall(ctx, msg.Operation, h, msg.Parts)
 	span.End(err)
 	e.observe(msg.Operation, span.DurationMS(), err)
 	if err != nil {
@@ -122,6 +122,33 @@ func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"dur_ms", fmt.Sprintf("%.1f", span.DurationMS()))
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	_, _ = w.Write(reply)
+}
+
+// safeCall invokes a handler, converting a panic into a soap:Server
+// fault so one broken invocation cannot take the hosting process (and
+// every co-hosted service) down with it. http.ErrAbortHandler is the
+// sanctioned way to abort a response and is re-raised untouched.
+func (e *Endpoint) safeCall(ctx context.Context, operation string, h Handler, parts map[string]string) (out map[string]string, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if r == http.ErrAbortHandler {
+			panic(r)
+		}
+		e.obsReg().Counter("soap_server_panics_total",
+			"service="+e.ServiceName, "op="+operation).Inc()
+		serverLog.Error(ctx, "handler_panic", "service", e.ServiceName,
+			"op", operation, "panic", fmt.Sprint(r))
+		out = nil
+		err = &Fault{
+			Code:   "soap:Server",
+			String: fmt.Sprintf("internal error in %s.%s", e.ServiceName, operation),
+			Detail: fmt.Sprintf("handler panic: %v", r),
+		}
+	}()
+	return h(ctx, parts)
 }
 
 // observe records one request's metrics.

@@ -1,0 +1,105 @@
+package workflow
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/resilience"
+	"repro/internal/services"
+)
+
+// hostClassifierService mounts the Classifier service, optionally behind
+// a chaos injector, and returns its SOAP endpoint.
+func hostClassifierService(t *testing.T, inj *chaos.Injector) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(inj.Wrap(mux))
+	t.Cleanup(srv.Close)
+	paths := services.Host(mux, srv.URL, services.NewClassifierService(harness.NewCachedBackend(4)))
+	return srv.URL + paths["Classifier"]
+}
+
+// TestSOAPUnitFailsOverViaRegistry: a registry-backed SOAPUnit finishes
+// its task on the healthy replica when the first endpoint answers with
+// injected faults — in-task failover, without engine-level alternates.
+func TestSOAPUnitFailsOverViaRegistry(t *testing.T) {
+	inj := chaos.New(1, chaos.Rule{FaultRate: 1})
+	inj.Observer = obs.NewRegistry()
+	badEp := hostClassifierService(t, inj)
+	goodEp := hostClassifierService(t, nil)
+
+	reg := registry.New()
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+	for _, ep := range []string{badEp, goodEp} {
+		if err := reg.Publish(registry.Entry{
+			Name: "Classifier", Category: "classifier", Endpoint: ep, WSDLURL: ep,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	u := &SOAPUnit{
+		Service:     "Classifier",
+		Operation:   "getClassifiers",
+		Out:         []string{"classifiers"},
+		RegistryURL: regSrv.URL,
+		Category:    "classifier",
+		Policy:      &resilience.Policy{MaxAttempts: 4, BackoffBase: time.Millisecond},
+	}
+	g := NewGraph("failover")
+	g.MustAdd("list", u)
+
+	e := NewEngine()
+	e.Observer = obs.NewRegistry()
+	res, err := e.Run(context.Background(), g)
+	if err != nil {
+		t.Fatalf("workflow failed despite a healthy replica: %v", err)
+	}
+	out, ok := res.Value("list", "classifiers")
+	if !ok || out == "" {
+		t.Fatalf("classifiers output = %q, %v", out, ok)
+	}
+}
+
+// TestSOAPUnitRegistrySpecRoundTrip: registry/category survive the spec
+// save/load cycle, so persisted workflows keep their dynamic failover.
+func TestSOAPUnitRegistrySpecRoundTrip(t *testing.T) {
+	u := &SOAPUnit{
+		Service:     "Classifier",
+		Operation:   "getClassifiers",
+		In:          []string{"x"},
+		Out:         []string{"classifiers"},
+		RegistryURL: "http://reg.example",
+		Category:    "classifier",
+	}
+	spec := u.Spec()
+	unit, err := NewUnitOfKind(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := unit.(*SOAPUnit)
+	if !ok {
+		t.Fatalf("round-trip unit is %T", unit)
+	}
+	if got.RegistryURL != u.RegistryURL || got.Category != u.Category {
+		t.Fatalf("round-trip lost registry config: %+v", got)
+	}
+	// Registry-only units (no fixed endpoint) are valid.
+	spec.Config["endpoint"] = ""
+	if _, err := NewUnitOfKind(spec); err != nil {
+		t.Fatalf("registry-only soap unit rejected: %v", err)
+	}
+	// But a unit with neither endpoint nor registry is not.
+	spec.Config["registry"] = ""
+	if _, err := NewUnitOfKind(spec); err == nil {
+		t.Fatal("endpoint-less, registry-less soap unit accepted")
+	}
+}

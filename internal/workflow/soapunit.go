@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 )
@@ -15,6 +18,13 @@ import (
 // service tools that appear in the workspace after a WSDL import (§4). Its
 // input nodes are the operation's input parts and its output nodes the
 // response parts.
+//
+// With RegistryURL set the unit resolves its endpoints dynamically: every
+// live registry entry whose name matches Service (and Category, if set)
+// joins a health-aware pool, and a failing call moves to the next healthy
+// endpoint — the paper's "complete the task if a fault occurs by moving
+// the job to another resource" (§3) at single-task granularity, on top of
+// the engine's static task alternates.
 type SOAPUnit struct {
 	Endpoint  string
 	Service   string
@@ -22,6 +32,17 @@ type SOAPUnit struct {
 	In, Out   []string
 	// Client overrides the package-level default SOAP client when set.
 	Client *soap.Client
+	// RegistryURL, when set, backs the unit with a registry-refreshed
+	// endpoint pool; Endpoint (if also set) seeds the pool.
+	RegistryURL string
+	// Category optionally narrows the registry inquiry.
+	Category string
+	// Policy governs in-task retries across pool endpoints; nil uses the
+	// resilience defaults when a pool is active.
+	Policy *resilience.Policy
+
+	poolOnce sync.Once
+	pool     *resilience.Pool
 }
 
 // Name implements Unit.
@@ -33,6 +54,24 @@ func (u *SOAPUnit) Inputs() []string { return u.In }
 // Outputs implements Unit.
 func (u *SOAPUnit) Outputs() []string { return u.Out }
 
+// ensurePool lazily builds the registry-backed endpoint pool; it returns
+// nil when the unit has no RegistryURL (fixed-endpoint mode).
+func (u *SOAPUnit) ensurePool() *resilience.Pool {
+	u.poolOnce.Do(func() {
+		if u.RegistryURL == "" {
+			return
+		}
+		rc := &registry.Client{BaseURL: u.RegistryURL, Policy: &resilience.Policy{}}
+		var seed []string
+		if u.Endpoint != "" {
+			seed = []string{u.Endpoint}
+		}
+		u.pool = resilience.NewPool(seed,
+			resilience.WithSource(rc.EndpointSource(u.Service, u.Category)))
+	})
+	return u.pool
+}
+
 // Run implements Unit: only declared input parts are forwarded; inputs left
 // unset are simply omitted. The call is context-first, so cancellation and
 // the caller's trace context propagate into the SOAP request.
@@ -43,15 +82,26 @@ func (u *SOAPUnit) Run(ctx context.Context, in Values) (Values, error) {
 			parts[name] = v
 		}
 	}
-	var (
-		out map[string]string
-		err error
-	)
-	if u.Client != nil {
-		out, err = u.Client.CallContext(ctx, u.Endpoint, u.Operation, parts)
-	} else {
-		out, err = soap.CallContext(ctx, u.Endpoint, u.Operation, parts)
+	call := func(ctx context.Context, endpoint string) (map[string]string, error) {
+		if u.Client != nil {
+			return u.Client.CallContext(ctx, endpoint, u.Operation, parts)
+		}
+		return soap.CallContext(ctx, endpoint, u.Operation, parts)
 	}
+	if pool := u.ensurePool(); pool != nil {
+		pool.MaybeRefresh(ctx)
+		var out map[string]string
+		_, err := pool.Do(ctx, u.Policy, func(ctx context.Context, endpoint string) error {
+			var callErr error
+			out, callErr = call(ctx, endpoint)
+			return callErr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return Values(out), nil
+	}
+	out, err := call(ctx, u.Endpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +115,12 @@ func (u *SOAPUnit) Spec() Spec {
 		"service":   u.Service,
 		"operation": u.Operation,
 	}
+	if u.RegistryURL != "" {
+		cfg["registry"] = u.RegistryURL
+	}
+	if u.Category != "" {
+		cfg["category"] = u.Category
+	}
 	for i, p := range u.In {
 		cfg[fmt.Sprintf("in.%d", i)] = p
 	}
@@ -77,9 +133,11 @@ func (u *SOAPUnit) Spec() Spec {
 func init() {
 	RegisterUnitKind("soap", func(cfg map[string]string) (Unit, error) {
 		u := &SOAPUnit{
-			Endpoint:  cfg["endpoint"],
-			Service:   cfg["service"],
-			Operation: cfg["operation"],
+			Endpoint:    cfg["endpoint"],
+			Service:     cfg["service"],
+			Operation:   cfg["operation"],
+			RegistryURL: cfg["registry"],
+			Category:    cfg["category"],
 		}
 		for i := 0; ; i++ {
 			p, ok := cfg[fmt.Sprintf("in.%d", i)]
@@ -95,8 +153,8 @@ func init() {
 			}
 			u.Out = append(u.Out, p)
 		}
-		if u.Endpoint == "" || u.Operation == "" {
-			return nil, fmt.Errorf("workflow: soap unit needs endpoint and operation")
+		if u.Operation == "" || (u.Endpoint == "" && u.RegistryURL == "") {
+			return nil, fmt.Errorf("workflow: soap unit needs an operation and an endpoint or registry")
 		}
 		return u, nil
 	})

@@ -1,20 +1,30 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke over the observability layer: start a
-# real dmserver, probe /healthz and /metrics, then run a small dmexp batch
-# against the registry and check that ONE trace ID crosses the client log,
-# the server log and the journal. Run from the repo root.
+# scripts/smoke.sh — end-to-end smoke in two phases. Phase 1 covers the
+# observability layer: start a real dmserver, probe /healthz and /metrics,
+# then run a small dmexp batch against the registry and check that ONE
+# trace ID crosses the client log, the server log and the journal.
+# Phase 2 covers resilience: a standalone dmregistry, two dmservers
+# publishing into it — one answering every SOAP call with an injected
+# fault — and a batch that must finish on the healthy replica with the
+# failover visible in the client metrics. Run from the repo root.
 set -eu
 
 WORK=$(mktemp -d)
 SERVER_PID=""
+REG_PID=""
+GOOD_PID=""
+BAD_PID=""
 cleanup() {
-	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
 	rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$WORK/dmserver" ./cmd/dmserver
 go build -o "$WORK/dmexp" ./cmd/dmexp
+go build -o "$WORK/dmregistry" ./cmd/dmregistry
 
 "$WORK/dmserver" -addr 127.0.0.1:0 -log-level info >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
@@ -93,4 +103,85 @@ for want in soap_server_requests_total harness_cache_; do
 	fi
 done
 
-echo "smoke: ok (base=$BASE trace=$TRACE)"
+echo "smoke: phase 1 ok (base=$BASE trace=$TRACE)"
+
+# ---------------------------------------------------------------------------
+# Phase 2: chaos/failover. A shared dmregistry, two dmservers publishing
+# into it with heartbeats, one of them injecting a soap:Server fault into
+# EVERY service call. The batch must still complete every job — with a
+# hair-trigger breaker (-breaker-failures 1) the faulty replica is ejected
+# after one failure — and the evidence must land in the metrics snapshot.
+"$WORK/dmregistry" -addr 127.0.0.1:0 -ttl 30s >"$WORK/registry.log" 2>&1 &
+REG_PID=$!
+REG=""
+i=0
+while [ $i -lt 50 ]; do
+	REG=$(sed -n 's|^dmregistry listening on \(http://[^ ]*\).*|\1|p' "$WORK/registry.log" | head -1)
+	[ -n "$REG" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$REG" ]; then
+	echo "smoke: dmregistry did not start" >&2
+	cat "$WORK/registry.log" >&2
+	exit 1
+fi
+
+"$WORK/dmserver" -addr 127.0.0.1:0 -publish "$REG" -heartbeat 1s \
+	>"$WORK/good.log" 2>&1 &
+GOOD_PID=$!
+"$WORK/dmserver" -addr 127.0.0.1:0 -publish "$REG" -heartbeat 1s \
+	-chaos 'fault=1' >"$WORK/bad.log" 2>&1 &
+BAD_PID=$!
+
+# Both hosts publish the Classifier service under the same name; wait
+# until the registry's inquiry lists two distinct endpoints for it.
+i=0
+while [ $i -lt 100 ]; do
+	n=$(curl -fsS "$REG/inquiry?category=classifier" 2>/dev/null |
+		grep -o '"endpoint"' | wc -l) || n=0
+	[ "$n" -ge 2 ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ "$n" -lt 2 ]; then
+	echo "smoke: registry lists $n classifier endpoint(s), want 2" >&2
+	cat "$WORK/good.log" "$WORK/bad.log" >&2
+	exit 1
+fi
+
+cat >"$WORK/chaos-spec.json" <<'EOF'
+{
+  "name": "smoke-chaos",
+  "folds": 3,
+  "datasets": [{"name": "weather", "builtin": "weather"}],
+  "algorithms": [{"algorithm": "ZeroR"}, {"algorithm": "OneR"}]
+}
+EOF
+
+"$WORK/dmexp" run -spec "$WORK/chaos-spec.json" -journal "$WORK/chaos.jsonl" \
+	-registry "$REG" -breaker-failures 1 -retries 3 \
+	-metrics-out "$WORK/chaos-metrics.json" \
+	>"$WORK/chaos.out" 2>"$WORK/chaos.err" || {
+	echo "smoke: chaos batch failed despite a healthy replica" >&2
+	cat "$WORK/chaos.out" "$WORK/chaos.err" >&2
+	exit 1
+}
+if grep -q '"status":"failed"' "$WORK/chaos.jsonl"; then
+	echo "smoke: chaos journal records failed jobs" >&2
+	cat "$WORK/chaos.jsonl" >&2
+	exit 1
+fi
+
+# The failover must be visible: the chaotic endpoint's breaker opened and
+# the pool ejected it at least once.
+for want in resilience_breaker_opens_total resilience_endpoint_ejections_total; do
+	if ! grep -Eq "\"$want\{[^\"]*\}\": *[1-9]" "$WORK/chaos-metrics.json"; then
+		echo "smoke: no nonzero $want in the client metrics snapshot" >&2
+		cat "$WORK/chaos-metrics.json" >&2
+		exit 1
+	fi
+done
+
+echo "smoke: phase 2 ok (registry=$REG, failover confirmed)"
+echo "smoke: ok"

@@ -7,7 +7,8 @@
 //
 //	dmserver [-addr 127.0.0.1:8334] [-backend cached|serialising] [-cache 64] [-store DIR]
 //	         [-publish URL] [-heartbeat 5s] [-ttl 15s]
-//	         [-chaos 'fault=0.3;op=classifyInstance,latency=200ms'] [-chaos-seed 1]
+//	         [-max-inflight 64] [-queue 128] [-drain-grace 10s]
+//	         [-chaos 'fault=0.3;op=classifyInstance,latency=200ms'] [-chaos-seed 1] [-chaos-header]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/chaos"
@@ -35,8 +37,12 @@ func main() {
 	publishURL := flag.String("publish", "", "external registry base URL to publish this host's services to (e.g. http://127.0.0.1:8335)")
 	heartbeat := flag.Duration("heartbeat", 0, "re-publish services at this interval (0 = publish once at startup)")
 	ttl := flag.Duration("ttl", 0, "age out own-registry entries not re-published within this window (0 = never)")
+	maxInFlight := flag.Int("max-inflight", 64, "concurrently executing SOAP requests before new ones queue")
+	queueDepth := flag.Int("queue", 128, "requests waiting for an in-flight slot before shedding (negative = shed immediately at capacity)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long shutdown waits for in-flight requests after it stops admitting")
 	chaosRules := flag.String("chaos", "", "fault-injection rules for /services/, e.g. 'fault=0.3;op=classifyInstance,latency=200ms'")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic chaos dice")
+	chaosHeader := flag.Bool("chaos-header", false, "honor the X-DM-Chaos request header from any peer (default: loopback peers only)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -67,13 +73,18 @@ func main() {
 		log.Fatalf("dmserver: unknown backend %q", *backendKind)
 	}
 
-	var opts []core.Option
+	opts := []core.Option{
+		core.WithAdmission(*maxInFlight, *queueDepth),
+		core.WithDrainGrace(*drainGrace),
+	}
 	if *chaosRules != "" {
 		rules, err := chaos.ParseRules(*chaosRules)
 		if err != nil {
 			log.Fatalf("dmserver: %v", err)
 		}
-		opts = append(opts, core.WithChaos(chaos.New(*chaosSeed, rules...)))
+		inj := chaos.New(*chaosSeed, rules...)
+		inj.AllowHeaderFromAnyPeer = *chaosHeader
+		opts = append(opts, core.WithChaos(inj))
 		fmt.Printf("dmserver: CHAOS ENABLED (%d rule(s), seed %d)\n", len(rules), *chaosSeed)
 	}
 	if *heartbeat > 0 || *ttl > 0 {
@@ -104,9 +115,11 @@ func main() {
 		fmt.Printf("  service %-20s %s\n", name, d.WSDLURL(name))
 	}
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	fmt.Printf("dmserver: draining (grace %s)\n", *drainGrace)
 	if err := d.Close(); err != nil {
 		log.Fatalf("dmserver: shutdown: %v", err)
 	}
+	fmt.Println("dmserver: drained, bye")
 }

@@ -9,13 +9,16 @@
 // truncated responses, each with a per-operation probability. Rules come
 // from dmserver's -chaos flag or, per request, from the X-DM-Chaos
 // header, so tests and scripts/smoke.sh can force a failure on exactly
-// the call they are watching.
+// the call they are watching. The header is honored only for loopback
+// peers unless explicitly opted in (dmserver -chaos-header), so a
+// production deployment cannot have faults injected by remote callers.
 package chaos
 
 import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -118,6 +121,12 @@ var chaosLog = obs.L("chaos")
 type Injector struct {
 	// Observer receives injection counters; nil means obs.Default.
 	Observer *obs.Registry
+	// AllowHeaderFromAnyPeer honors the X-DM-Chaos header regardless of
+	// the peer address. Off (the default) the header is honored only for
+	// requests from loopback peers, so a production deployment cannot
+	// have faults injected by arbitrary remote callers; configured -chaos
+	// rules are unaffected. Set before serving traffic.
+	AllowHeaderFromAnyPeer bool
 
 	rules []Rule
 
@@ -156,16 +165,35 @@ func (inj *Injector) roll(rate float64) bool {
 	return inj.rng.Float64() < rate
 }
 
+// headerAllowed reports whether the request's peer may drive injection
+// through the X-DM-Chaos header: loopback peers always may (tests and
+// local smoke scripts), remote peers only with the explicit opt-in.
+func (inj *Injector) headerAllowed(r *http.Request) bool {
+	if inj.AllowHeaderFromAnyPeer {
+		return true
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
 // ruleFor picks the rule applying to a request: the X-DM-Chaos header
-// (parsed as a single rule) wins; otherwise the first configured rule
-// whose Op matches the request's SOAPAction.
+// (parsed as a single rule, loopback peers only unless opted in) wins;
+// otherwise the first configured rule whose Op matches the request's
+// SOAPAction.
 func (inj *Injector) ruleFor(r *http.Request) (Rule, bool) {
 	if h := r.Header.Get(HeaderName); h != "" {
-		rule, err := ParseRule(h)
-		if err == nil {
+		if !inj.headerAllowed(r) {
+			inj.obsReg().Counter("chaos_header_denied_total").Inc()
+			chaosLog.Warn(r.Context(), "header_denied", "peer", r.RemoteAddr)
+		} else if rule, err := ParseRule(h); err == nil {
 			return rule, true
+		} else {
+			chaosLog.Warn(r.Context(), "bad_header", "value", h, "err", err)
 		}
-		chaosLog.Warn(r.Context(), "bad_header", "value", h, "err", err)
 	}
 	op := operationOf(r)
 	for _, rule := range inj.rules {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/dataaccess"
 	"repro/internal/datagen"
@@ -31,14 +32,17 @@ type Deployment struct {
 	Registry *registry.Registry
 	Backend  harness.Backend
 
-	svcNames  []string
-	entries   []registry.Entry
-	server    *http.Server
-	ln        net.Listener
-	stopOnce  sync.Once
-	stopBeat  chan struct{}
-	beatDone  chan struct{}
-	extClient *registry.Client
+	svcNames   []string
+	entries    []registry.Entry
+	server     *http.Server
+	ln         net.Listener
+	adm        *admission.Controller
+	drainGrace time.Duration
+	stopOnce   sync.Once
+	stopErr    error
+	stopBeat   chan struct{}
+	beatDone   chan struct{}
+	extClient  *registry.Client
 }
 
 // deployConfig collects the optional deployment behaviours.
@@ -47,6 +51,8 @@ type deployConfig struct {
 	heartbeat   time.Duration
 	ttl         time.Duration
 	externalReg string
+	admission   admission.Config
+	drainGrace  time.Duration
 }
 
 // Option configures a Deployment.
@@ -76,6 +82,23 @@ func WithExternalRegistry(baseURL string) Option {
 	return func(c *deployConfig) { c.externalReg = baseURL }
 }
 
+// WithAdmission tunes the deployment's admission control (it is always
+// on; without this option the admission.Config defaults apply):
+// maxInFlight concurrently executing SOAP requests, maxQueue more
+// waiting, everything beyond shed with a retryable ServerBusy fault.
+func WithAdmission(maxInFlight, maxQueue int) Option {
+	return func(c *deployConfig) {
+		c.admission.MaxInFlight = maxInFlight
+		c.admission.MaxQueue = maxQueue
+	}
+}
+
+// WithDrainGrace bounds how long Close waits for in-flight requests
+// after it stops admitting; <=0 means 10s.
+func WithDrainGrace(d time.Duration) Option {
+	return func(c *deployConfig) { c.drainGrace = d }
+}
+
 // Deploy starts all toolkit services on addr (use "127.0.0.1:0" for an
 // ephemeral port). backend selects the §4.5 instance-management strategy;
 // nil defaults to the paper's in-memory harness.
@@ -96,11 +119,14 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 	if cfg.ttl > 0 {
 		reg = registry.NewWithTTL(cfg.ttl)
 	}
+	adm := admission.NewController(cfg.admission)
 	mux := http.NewServeMux()
 	mux.Handle("/registry/", http.StripPrefix("/registry", reg.Handler()))
-	// Observability endpoints: process metrics as JSON and a liveness probe.
+	// Observability endpoints: process metrics as JSON and a liveness
+	// probe that flips to "draining" the moment Close stops admitting,
+	// so health-checking pools eject this host before it goes away.
 	mux.Handle("/metrics", obs.Default.Handler())
-	mux.Handle("/healthz", obs.HealthHandler())
+	mux.Handle("/healthz", obs.HealthHandlerStatus(adm.HealthStatus))
 
 	// The relational resource behind the DataAccess service (the OGSA-DAI
 	// integration of §5.4) ships with the toolkit's embedded datasets.
@@ -130,13 +156,20 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 		services.NewMathService(),
 		services.NewTreeAnalyzerService(),
 	}
-	// Services live on their own sub-mux so chaos wraps them alone: the
-	// registry and observability endpoints of a chaotic host stay clean.
+	// Services live on their own sub-mux so admission and chaos wrap
+	// them alone: the registry and observability endpoints stay clean
+	// and ungated. Admission sits outermost — a shed request must cost
+	// nothing, not even an injected chaos delay.
 	svcMux := http.NewServeMux()
 	services.Host(svcMux, baseURL, svcs...)
-	mux.Handle("/services/", cfg.injector.Wrap(svcMux))
+	mux.Handle("/services/", adm.Wrap(cfg.injector.Wrap(svcMux)))
 
-	d := &Deployment{BaseURL: baseURL, Registry: reg, Backend: backend, ln: ln}
+	drainGrace := cfg.drainGrace
+	if drainGrace <= 0 {
+		drainGrace = 10 * time.Second
+	}
+	d := &Deployment{BaseURL: baseURL, Registry: reg, Backend: backend, ln: ln,
+		adm: adm, drainGrace: drainGrace}
 	if cfg.externalReg != "" {
 		d.extClient = &registry.Client{BaseURL: cfg.externalReg, Policy: &resilience.Policy{}}
 	}
@@ -230,27 +263,43 @@ func (d *Deployment) WSDLURL(service string) string {
 // RegistryURL returns the base URL of the deployment's registry.
 func (d *Deployment) RegistryURL() string { return d.BaseURL + "/registry" }
 
-// Close stops the heartbeat, withdraws the deployment's entries from any
-// external registry and shuts the HTTP server down.
+// Admission exposes the deployment's admission controller (state,
+// in-flight count) for probes and tests.
+func (d *Deployment) Admission() *admission.Controller { return d.adm }
+
+// Close shuts the deployment down gracefully, in the order that keeps
+// clients from ever dialling a dead endpoint: stop heartbeating and
+// withdraw the registry entries first (so pools refreshing from a
+// registry stop discovering this host), then stop admitting — /healthz
+// reports "draining" from this point — let in-flight requests finish
+// within the drain grace period, and only then close the HTTP server.
 func (d *Deployment) Close() error {
 	d.stopOnce.Do(func() {
 		if d.stopBeat != nil {
 			close(d.stopBeat)
 			<-d.beatDone
 		}
-		if d.extClient != nil {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			for _, e := range d.entries {
-				if err := d.extClient.RemoveContext(ctx, e.Name, e.Endpoint); err != nil {
+		withdrawCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		for _, e := range d.entries {
+			d.Registry.RemoveEndpoint(e.Name, e.Endpoint)
+			if d.extClient != nil {
+				if err := d.extClient.RemoveContext(withdrawCtx, e.Name, e.Endpoint); err != nil {
 					coreLog.Warn(nil, "external_remove_failed", "service", e.Name, "err", err)
 				}
 			}
 		}
+		cancel()
+		drainCtx, cancel := context.WithTimeout(context.Background(), d.drainGrace)
+		if err := d.adm.Drain(drainCtx); err != nil {
+			coreLog.Warn(nil, "drain_grace_expired", "err", err)
+		}
+		cancel()
+		d.adm.Stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.stopErr = d.server.Shutdown(shutCtx)
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	return d.server.Shutdown(ctx)
+	return d.stopErr
 }
 
 // BuildCaseStudyWorkflow composes the §5 case-study workflow of Figure 1

@@ -252,9 +252,22 @@ func (r *Registry) Handler() http.Handler {
 // the health endpoint.
 type HealthCheck func() error
 
+// StatusFunc reports a server's lifecycle status for /healthz: "ok"
+// while serving; any other value (e.g. "draining") is reported verbatim
+// with a 503, so health-checking clients stop routing to the endpoint
+// before it closes.
+type StatusFunc func() string
+
 // HealthHandler serves /healthz: 200 {"status":"ok"} while every check
 // passes, 503 with the failing checks otherwise.
 func HealthHandler(checks ...HealthCheck) http.Handler {
+	return HealthHandlerStatus(nil, checks...)
+}
+
+// HealthHandlerStatus is HealthHandler with a lifecycle status source: a
+// non-"ok" status (a draining or stopped server) answers 503 carrying
+// the status, even when every check passes.
+func HealthHandlerStatus(status StatusFunc, checks ...HealthCheck) http.Handler {
 	start := time.Now()
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
@@ -265,16 +278,28 @@ func HealthHandler(checks ...HealthCheck) http.Handler {
 			"status":         "ok",
 			"uptime_seconds": time.Since(start).Seconds(),
 		}
+		unhealthy := false
+		if status != nil {
+			if s := status(); s != "" && s != "ok" {
+				body["status"] = s
+				unhealthy = true
+			}
+		}
 		var failures []string
 		for _, check := range checks {
 			if err := check(); err != nil {
 				failures = append(failures, err.Error())
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
 		if len(failures) > 0 {
-			body["status"] = "degraded"
+			if !unhealthy {
+				body["status"] = "degraded"
+			}
 			body["failures"] = failures
+			unhealthy = true
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if unhealthy {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		_ = json.NewEncoder(w).Encode(body)

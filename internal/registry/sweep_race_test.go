@@ -1,0 +1,141 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSweepRacesHeartbeat runs Sweep concurrently with heartbeat
+// re-publishes (run it under -race). The contract under test: an entry
+// whose publisher keeps heartbeating well inside the TTL must never be
+// observed expired — not by Inquire, not by Get — no matter how the
+// sweeper's scan interleaves with the refresh. A second entry that
+// stops heartbeating is the control: it must be swept.
+func TestSweepRacesHeartbeat(t *testing.T) {
+	const ttl = 250 * time.Millisecond
+	r := NewWithTTL(ttl)
+
+	alive := Entry{Name: "AliveService", Category: "classifier", Endpoint: "http://a:1/services/Alive"}
+	doomed := Entry{Name: "DoomedService", Category: "classifier", Endpoint: "http://d:1/services/Doomed"}
+	if err := r.Publish(alive); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(doomed); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+
+	// Heartbeat: re-publish the live entry every ~10ms, 25x faster than
+	// the TTL, so only a lost update could let it expire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if err := r.Publish(alive); err != nil {
+					t.Errorf("heartbeat publish: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Sweeper: tight expiry loop racing the heartbeats.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Sweep()
+			}
+		}
+	}()
+
+	// Samplers: continuously assert the heartbeating entry is visible
+	// through both read paths while the race runs.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := r.Get("AliveService"); !ok {
+					violations.Add(1)
+				}
+				found := false
+				for _, e := range r.Inquire("Alive", "") {
+					if e.Endpoint == alive.Endpoint {
+						found = true
+					}
+				}
+				if !found {
+					violations.Add(1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(600 * time.Millisecond) // > 2x TTL: doomed expires, alive must not
+	close(stop)
+	wg.Wait()
+
+	if n := violations.Load(); n != 0 {
+		t.Errorf("refreshed entry observed expired %d times during sweep race", n)
+	}
+	if _, ok := r.Get("AliveService"); !ok {
+		t.Error("heartbeating entry swept despite refreshes inside TTL")
+	}
+	if _, ok := r.Get("DoomedService"); ok {
+		t.Error("entry without heartbeats survived 2x TTL of sweeping")
+	}
+}
+
+// TestSweepRacesPublish interleaves Sweep with first-time publishes of
+// fresh entries: a just-published entry carries a LastSeen of "now" and
+// must survive any concurrently running sweep.
+func TestSweepRacesPublish(t *testing.T) {
+	r := NewWithTTL(50 * time.Millisecond)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Sweep()
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("Svc%03d", i)
+		if err := r.Publish(Entry{Name: name, Endpoint: "http://x/" + name}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Get(name); !ok {
+			t.Fatalf("entry %s expired immediately after publish", name)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

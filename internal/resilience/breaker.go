@@ -144,7 +144,10 @@ func (b *Breaker) Allow() bool {
 // Record feeds a call outcome back into the breaker. Success and
 // Permanent outcomes count as healthy (a soap:Client fault means the
 // caller erred, not the endpoint); Retryable counts as a failure;
-// Aborted releases any probe slot without judging the endpoint.
+// Aborted and Busy release any probe slot without judging the endpoint —
+// a shed (ServerBusy) request is deliberate admission control by a live
+// server, so it must neither trip the consecutive-failure counter nor
+// count toward the rolling error rate.
 func (b *Breaker) Record(cls Class) {
 	if b == nil {
 		return
@@ -152,7 +155,7 @@ func (b *Breaker) Record(cls Class) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch cls {
-	case Aborted:
+	case Aborted, Busy:
 		b.probeInUse = false
 	case Retryable:
 		b.recordFailureLocked()

@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// busyErr mimics a ServerBusy soap fault: classified Busy, carrying a
+// Retry-After hint. (The real soap.Fault cannot appear here — soap
+// imports resilience — so the interfaces are exercised through a stub.)
+type busyErr struct{ hint time.Duration }
+
+func (e *busyErr) Error() string                 { return "ServerBusy" }
+func (e *busyErr) FaultCode() string             { return BusyFaultCode }
+func (e *busyErr) RetryAfterHint() time.Duration { return e.hint }
+
+func TestClassifyBusy(t *testing.T) {
+	if got := ClassifyErr(&busyErr{}); got != Busy {
+		t.Fatalf("ClassifyErr(ServerBusy) = %v, want Busy", got)
+	}
+	if got := ClassifyErr(fmt.Errorf("wrapped: %w", &busyErr{})); got != Busy {
+		t.Fatalf("wrapped ServerBusy classified %v, want Busy", got)
+	}
+	if Busy.String() != "busy" {
+		t.Fatalf("Busy.String() = %q", Busy.String())
+	}
+}
+
+func TestRetryAfterExtraction(t *testing.T) {
+	if got := RetryAfter(&busyErr{hint: 250 * time.Millisecond}); got != 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v", got)
+	}
+	if got := RetryAfter(fmt.Errorf("wrap: %w", &busyErr{hint: time.Second})); got != time.Second {
+		t.Fatalf("RetryAfter through wrapping = %v", got)
+	}
+	if got := RetryAfter(errors.New("plain")); got != 0 {
+		t.Fatalf("RetryAfter(plain error) = %v, want 0", got)
+	}
+}
+
+// TestBreakerBusyIsNeutral: shed requests must not open a breaker — a
+// shedding server is alive and should stay in the rotation — and a busy
+// answer to a half-open probe must release the probe slot without
+// closing or re-opening the breaker.
+func TestBreakerBusyIsNeutral(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 2, ErrorRate: 0.5, Window: 4, Cooldown: time.Minute}
+	b := NewBreaker("ep", cfg, obs.NewRegistry())
+
+	for i := 0; i < 20; i++ {
+		b.Record(Busy)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("breaker opened on Busy outcomes alone: %v", got)
+	}
+	// Busy outcomes must not feed the rolling error-rate window either:
+	// one real failure after many sheds is 1 consecutive, not a trip.
+	b.Record(Retryable)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("one failure after sheds tripped the breaker: %v", got)
+	}
+
+	// Trip it for real, then probe half-open with a Busy answer.
+	b.Record(Retryable)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("two consecutive failures should open: %v", got)
+	}
+	b.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed; breaker should admit a probe")
+	}
+	b.Record(Busy)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("busy probe moved breaker to %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("busy probe should release the probe slot for the next attempt")
+	}
+}
+
+func TestSleepHintStretchesBackoff(t *testing.T) {
+	p := &Policy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}
+	start := time.Now()
+	if err := p.SleepHint(context.Background(), 1, 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("SleepHint returned after %v, hint was 60ms", elapsed)
+	}
+	// Without a hint the policy backoff (~1-2ms) applies.
+	start = time.Now()
+	if err := p.SleepHint(context.Background(), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("hintless SleepHint took %v, want the small policy backoff", elapsed)
+	}
+}

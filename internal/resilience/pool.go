@@ -268,13 +268,13 @@ func (p *Pool) Do(ctx context.Context, pol *Policy, fn func(ctx context.Context,
 				return ep, nil
 			}
 			lastEp, lastErr = ep, err
-			if cls := Classify(ctx, err); cls != Retryable {
+			if cls := Classify(ctx, err); cls != Retryable && cls != Busy {
 				return ep, err
 			}
 		}
 		if attempt < attempts {
 			p.observer.Counter("resilience_retries_total").Inc()
-			if err := pol.Sleep(ctx, attempt); err != nil {
+			if err := pol.SleepHint(ctx, attempt, RetryAfter(lastErr)); err != nil {
 				return lastEp, lastErr
 			}
 		}

@@ -58,6 +58,12 @@ const (
 	Permanent
 	// Aborted means the caller's context ended; no further attempts.
 	Aborted
+	// Busy means the server shed the request under admission control
+	// (a BusyFaultCode fault). It is retried like Retryable — honouring
+	// any Retry-After hint — but it is deliberate load shedding by a
+	// live server, not evidence of endpoint failure, so breakers stay
+	// neutral: a shedding replica must not be ejected from the rotation.
+	Busy
 )
 
 // String renders the class for logs and metric labels.
@@ -71,9 +77,29 @@ func (c Class) String() string {
 		return "permanent"
 	case Aborted:
 		return "aborted"
+	case Busy:
+		return "busy"
 	default:
 		return "unknown"
 	}
+}
+
+// BusyFaultCode is the fault code of a request shed by server-side
+// admission control (queue full, deadline unmeetable, or draining). The
+// SOAP 1.1 dotted form keeps it a soap:Server subclass on the wire while
+// letting clients distinguish deliberate shedding from real failure.
+const BusyFaultCode = "soap:Server.Busy"
+
+// RetryAfter extracts a server's Retry-After hint from an error chain
+// (soap faults expose it via RetryAfterHint). Zero means no hint.
+func RetryAfter(err error) time.Duration {
+	var h interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &h) {
+		if d := h.RetryAfterHint(); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // ClassifyErr buckets an error by its shape alone. SOAP faults are
@@ -97,10 +123,14 @@ func ClassifyErr(err error) Class {
 	}
 	var fc interface{ FaultCode() string }
 	if errors.As(err, &fc) {
-		if fc.FaultCode() == "soap:Client" {
+		switch fc.FaultCode() {
+		case "soap:Client":
 			return Permanent
+		case BusyFaultCode:
+			return Busy
+		default:
+			return Retryable
 		}
-		return Retryable
 	}
 	var ne net.Error
 	if errors.As(err, &ne) {
@@ -190,7 +220,18 @@ func (p *Policy) Backoff(attempt int) time.Duration {
 // Sleep waits the attempt's backoff or until ctx ends, returning ctx's
 // error in the latter case.
 func (p *Policy) Sleep(ctx context.Context, attempt int) error {
-	t := time.NewTimer(p.Backoff(attempt))
+	return p.SleepHint(ctx, attempt, 0)
+}
+
+// SleepHint is Sleep honouring a server's Retry-After hint: the wait is
+// the larger of the policy's backoff and the hint, so a shedding server
+// is never re-approached before the moment it asked for.
+func (p *Policy) SleepHint(ctx context.Context, attempt int, hint time.Duration) error {
+	d := p.Backoff(attempt)
+	if hint > d {
+		d = hint
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

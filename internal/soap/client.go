@@ -165,13 +165,16 @@ func (c *Client) invoke(ctx context.Context, url, operation string, msg Message)
 			out, err = c.do(ctx, url, operation, msg)
 			br.Record(resilience.Classify(ctx, err))
 		}
-		if attempt >= attempts || resilience.Classify(ctx, err) != resilience.Retryable {
+		cls := resilience.Classify(ctx, err)
+		if attempt >= attempts || (cls != resilience.Retryable && cls != resilience.Busy) {
 			return out, err
 		}
 		c.obsReg().Counter("soap_client_retries_total", "op="+operation).Inc()
 		clientLog.Info(ctx, "retry", "op", operation, "endpoint", url,
 			"attempt", fmt.Sprint(attempt), "err", err)
-		if sleepErr := c.policy.Sleep(ctx, attempt); sleepErr != nil {
+		// A shedding server's Retry-After hint stretches the backoff so
+		// the retry lands after the admission queue has had time to drain.
+		if sleepErr := c.policy.SleepHint(ctx, attempt, resilience.RetryAfter(err)); sleepErr != nil {
 			return out, err
 		}
 	}
@@ -197,6 +200,11 @@ func (c *Client) do(ctx context.Context, url, operation string, msg Message) (ma
 	if msg.Trace != "" {
 		req.Header.Set(obs.TraceHeaderName, msg.Trace)
 	}
+	// Propagate the effective deadline so the server can cancel work the
+	// caller has already given up on instead of computing it.
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(DeadlineHeaderName, FormatDeadline(dl))
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("soap: calling %s at %s: %w", operation, url, err)
@@ -210,7 +218,10 @@ func (c *Client) do(ctx context.Context, url, operation string, msg Message) (ma
 	}
 	reply, err := Unmarshal(bytes.NewReader(raw))
 	if err != nil {
-		if _, isFault := err.(*Fault); isFault {
+		if f, isFault := err.(*Fault); isFault {
+			// A shedding server says when a retry is worth trying; carry
+			// the hint on the fault for Retry-After-aware backoff.
+			f.Retry = RetryAfterFrom(resp.Header)
 			return nil, err
 		}
 		// No parseable envelope: a bare HTTP error (proxy page, plain-text
@@ -247,23 +258,7 @@ func bodySnippet(raw []byte) string {
 	return s
 }
 
-// Call posts an operation envelope to url and returns the response parts.
-//
-// Deprecated: use CallContext so cancellation, deadlines and the obs trace
-// context propagate. Call survives one release as a shim and delegates to
-// CallContext with context.Background().
-func (c *Client) Call(url, operation string, parts map[string]string) (map[string]string, error) {
-	return c.CallContext(context.Background(), url, operation, parts)
-}
-
 // CallContext invokes an operation using the package's default client.
 func CallContext(ctx context.Context, url, operation string, parts map[string]string) (map[string]string, error) {
 	return defaultClient.CallContext(ctx, url, operation, parts)
-}
-
-// Call invokes an operation using the package's default client.
-//
-// Deprecated: use CallContext; see (*Client).Call.
-func Call(url, operation string, parts map[string]string) (map[string]string, error) {
-	return defaultClient.CallContext(context.Background(), url, operation, parts)
 }

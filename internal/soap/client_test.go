@@ -210,23 +210,16 @@ func TestConcurrentServer(t *testing.T) {
 	}
 }
 
-// TestDeprecatedCallShim is the one remaining exercise of the deprecated
-// context-free API; it survives one release as a shim over CallContext.
-func TestDeprecatedCallShim(t *testing.T) {
+// TestPackageCallContext covers the package-level helper over the
+// default client (the deprecated context-free Call shims are gone).
+func TestPackageCallContext(t *testing.T) {
 	_, srv := newTestEndpoint(t)
-	out, err := Call(srv.URL, "echo", map[string]string{"x": "a"})
+	out, err := CallContext(context.Background(), srv.URL, "echo", map[string]string{"x": "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out["x"] != "aa" {
-		t.Fatalf("package Call returned %v", out)
-	}
-	out, err = NewClient().Call(srv.URL, "echo", map[string]string{"x": "b"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out["x"] != "bb" {
-		t.Fatalf("Client.Call returned %v", out)
+		t.Fatalf("package CallContext returned %v", out)
 	}
 }
 

@@ -86,6 +86,14 @@ func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	} else if tc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeaderName)); ok {
 		ctx = obs.ContextWithTrace(ctx, tc)
 	}
+	// Enforce the caller's propagated deadline: the handler context dies
+	// when the caller's does, so abandoned work cancels instead of
+	// running to completion for a reader that hung up.
+	if dl, ok := ParseDeadline(r.Header.Get(DeadlineHeaderName)); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
 	ctx, span := obs.StartSpan(ctx, "soap.server", msg.Operation)
 	span.SetAttr("service", e.ServiceName)
 
@@ -105,6 +113,17 @@ func (e *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	out, err := e.safeCall(ctx, msg.Operation, h, msg.Parts)
 	span.End(err)
 	e.observe(msg.Operation, span.DurationMS(), err)
+	if ctx.Err() != nil {
+		// The caller's deadline passed (or it hung up) while the handler
+		// ran; nobody is waiting for this response.
+		e.obsReg().Counter("soap_server_abandoned_total",
+			"service="+e.ServiceName, "op="+msg.Operation).Inc()
+		serverLog.Warn(ctx, msg.Operation, "service", e.ServiceName,
+			"status", "abandoned", "err", fmt.Sprint(ctx.Err()))
+		e.fault(ctx, w, msg.Operation, &Fault{Code: "soap:Server",
+			String: "caller deadline expired during service", Detail: ctx.Err().Error()})
+		return
+	}
 	if err != nil {
 		if f, isFault := err.(*Fault); isFault {
 			e.fault(ctx, w, msg.Operation, f)

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -36,10 +37,18 @@ type Fault struct {
 	Code   string `xml:"faultcode"`
 	String string `xml:"faultstring"`
 	Detail string `xml:"detail,omitempty"`
+	// Retry is the server's Retry-After hint for shed (ServerBusy)
+	// requests. It travels in HTTP response headers, not the envelope;
+	// the client attaches it here so retry policies can honor it.
+	Retry time.Duration `xml:"-"`
 }
 
 // FaultCode exposes the fault class for metric labelling (obs.FaultClass).
 func (f *Fault) FaultCode() string { return f.Code }
+
+// RetryAfterHint exposes the server's backoff hint (zero = none) through
+// the interface resilience.RetryAfter recognises.
+func (f *Fault) RetryAfterHint() time.Duration { return f.Retry }
 
 // Error implements error.
 func (f *Fault) Error() string {

@@ -1,12 +1,16 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke in two phases. Phase 1 covers the
+# scripts/smoke.sh — end-to-end smoke in three phases. Phase 1 covers the
 # observability layer: start a real dmserver, probe /healthz and /metrics,
 # then run a small dmexp batch against the registry and check that ONE
 # trace ID crosses the client log, the server log and the journal.
 # Phase 2 covers resilience: a standalone dmregistry, two dmservers
 # publishing into it — one answering every SOAP call with an injected
 # fault — and a batch that must finish on the healthy replica with the
-# failover visible in the client metrics. Run from the repo root.
+# failover visible in the client metrics. Phase 3 covers admission
+# control: flood one dmserver at many times its -max-inflight, assert the
+# overflow is shed as ServerBusy, the batch still completes via retries,
+# the in-flight bound held, and SIGINT drains gracefully. Run from the
+# repo root.
 set -eu
 
 WORK=$(mktemp -d)
@@ -14,8 +18,9 @@ SERVER_PID=""
 REG_PID=""
 GOOD_PID=""
 BAD_PID=""
+FLOOD_PID=""
 cleanup() {
-	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID"; do
+	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID" "$FLOOD_PID"; do
 		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
 	done
 	rm -rf "$WORK"
@@ -184,4 +189,96 @@ for want in resilience_breaker_opens_total resilience_endpoint_ejections_total; 
 done
 
 echo "smoke: phase 2 ok (registry=$REG, failover confirmed)"
+
+# ---------------------------------------------------------------------------
+# Phase 3: admission control under flood. One dmserver with only 2
+# execution slots and 2 queue seats, 12 dmexp workers pushing 12 jobs at
+# it — a sustained ~10x overload at the burst. Chaos latency stretches
+# each service call to 200ms so the burst actually collides (the real
+# handlers answer in ~1ms, too fast to ever fill 2 slots). The overflow
+# must be shed as soap:Server.Busy (visible in BOTH the server's shed
+# counter and the client's fault-class counter), the in-flight bound
+# must hold at its peak, and the batch must still complete every job
+# through retries.
+"$WORK/dmserver" -addr 127.0.0.1:0 -max-inflight 2 -queue 2 \
+	-chaos 'latency=200ms' -log-level info >"$WORK/flood.log" 2>&1 &
+FLOOD_PID=$!
+FLOOD=""
+i=0
+while [ $i -lt 50 ]; do
+	FLOOD=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/flood.log" | head -1)
+	[ -n "$FLOOD" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$FLOOD" ]; then
+	echo "smoke: flood dmserver did not start" >&2
+	cat "$WORK/flood.log" >&2
+	exit 1
+fi
+
+cat >"$WORK/flood-spec.json" <<'EOF'
+{
+  "name": "smoke-flood",
+  "folds": 3,
+  "datasets": [{"name": "weather", "builtin": "weather"}, {"name": "iris", "builtin": "iris"}],
+  "algorithms": [{"algorithm": "ZeroR"}, {"algorithm": "OneR"}, {"algorithm": "DecisionStump"},
+                 {"algorithm": "NaiveBayes"}, {"algorithm": "J48"}, {"algorithm": "IBk"}]
+}
+EOF
+
+"$WORK/dmexp" run -spec "$WORK/flood-spec.json" -journal "$WORK/flood.jsonl" \
+	-endpoints "$FLOOD/services/Classifier" -workers 12 -retries 8 \
+	-metrics-out "$WORK/flood-metrics.json" \
+	>"$WORK/flood.out" 2>"$WORK/flood.err" || {
+	echo "smoke: flood batch failed despite retries" >&2
+	cat "$WORK/flood.out" "$WORK/flood.err" >&2
+	exit 1
+}
+if grep -q '"status":"failed"' "$WORK/flood.jsonl"; then
+	echo "smoke: flood journal records failed jobs" >&2
+	cat "$WORK/flood.jsonl" >&2
+	exit 1
+fi
+
+# The server must have shed (the flood exceeded its capacity)...
+curl -fsS "$FLOOD/metrics" >"$WORK/flood-server-metrics.json"
+if ! grep -Eq '"admission_shed_total\{[^"]*\}": *[1-9]' "$WORK/flood-server-metrics.json"; then
+	echo "smoke: flood produced no admission_shed_total on the server" >&2
+	cat "$WORK/flood-server-metrics.json" >&2
+	exit 1
+fi
+# ...while never exceeding its in-flight bound, even at the peak.
+peak=$(sed -n 's/.*"admission_inflight_peak": *\([0-9]*\).*/\1/p' "$WORK/flood-server-metrics.json" | head -1)
+if [ -z "$peak" ] || [ "$peak" -lt 1 ] || [ "$peak" -gt 2 ]; then
+	echo "smoke: admission_inflight_peak=$peak, want within [1,2]" >&2
+	cat "$WORK/flood-server-metrics.json" >&2
+	exit 1
+fi
+# The client must have seen the sheds as ServerBusy faults (and retried
+# through them — the journal check above proves the retries worked).
+if ! grep -Eq '"soap_client_faults_total\{[^"]*soap:Server\.Busy[^"]*\}": *[1-9]' "$WORK/flood-metrics.json"; then
+	echo "smoke: no soap:Server.Busy fault class in the client metrics" >&2
+	cat "$WORK/flood-metrics.json" >&2
+	exit 1
+fi
+
+# SIGINT must drain gracefully: withdraw, finish, announce, exit.
+kill -INT "$FLOOD_PID"
+i=0
+while [ $i -lt 100 ]; do
+	grep -q "dmserver: drained, bye" "$WORK/flood.log" && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if ! grep -q "dmserver: draining (grace" "$WORK/flood.log" ||
+	! grep -q "dmserver: drained, bye" "$WORK/flood.log"; then
+	echo "smoke: flood dmserver did not drain cleanly on SIGINT" >&2
+	tail -20 "$WORK/flood.log" >&2
+	exit 1
+fi
+wait "$FLOOD_PID" 2>/dev/null || true
+FLOOD_PID=""
+
+echo "smoke: phase 3 ok (flood=$FLOOD, peak=$peak, sheds confirmed)"
 echo "smoke: ok"

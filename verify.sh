@@ -1,7 +1,9 @@
 #!/bin/sh
-# verify.sh — the full local gate: formatting, build, vet, tests, the race
-# detector over the whole module, then the end-to-end smoke (live dmserver,
-# /healthz + /metrics probes, traced dmexp batch). Run from the repo root.
+# verify.sh — the full local gate: formatting, build, vet (gated on any
+# finding), tests (including the admission goroutine-leak check and the
+# registry sweep races under -race), then the end-to-end smoke: live
+# dmserver probes, traced dmexp batch, chaos failover, and the admission
+# flood + graceful-drain drill. Run from the repo root.
 set -eux
 
 unformatted=$(gofmt -l .)
@@ -12,7 +14,19 @@ if [ -n "$unformatted" ]; then
 fi
 
 go build ./...
-go vet ./...
+
+# vet gates on output, not just exit code: anything it prints is a
+# finding, and findings fail the gate.
+vetout=$(go vet ./... 2>&1) || {
+	echo "$vetout" >&2
+	exit 1
+}
+if [ -n "$vetout" ]; then
+	echo "go vet findings:" >&2
+	echo "$vetout" >&2
+	exit 1
+fi
+
 go test ./...
 go test -race ./...
 

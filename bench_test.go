@@ -13,6 +13,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -368,6 +369,72 @@ func BenchmarkCrossValidation(b *testing.B) {
 		if ev.Accuracy() < 0.5 {
 			b.Fatal("degenerate CV")
 		}
+	}
+}
+
+// --- Tentpole: parallel compute kernels, P=1 vs P=GOMAXPROCS ---
+//
+// These benches quantify the internal/parallel fan-out on the three
+// kernels the README's Performance section reports: cross-validation
+// folds, ensemble member training and the k-means assignment scan. Each
+// kernel is bit-identical at any worker count (see the determinism
+// tests), so the sub-benchmark pair measures pure scheduling win. On a
+// single-CPU machine both levels collapse to the sequential path.
+
+// parallelLevels reports the worker counts worth benchmarking: 1 and, on
+// multi-core machines, one worker per CPU.
+func parallelLevels() []int {
+	levels := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+func BenchmarkCrossValidateParallel(b *testing.B) {
+	d := datagen.RandomNominal(2000, 12, 4, 0.3, 29)
+	factory := func() classify.Classifier { return classify.NewJ48() }
+	for _, p := range parallelLevels() {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev, err := classify.CrossValidateContext(context.Background(), factory, d, 10, 1,
+					classify.Parallelism(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ev.Accuracy() <= 0 {
+					b.Fatal("degenerate CV")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBaggingParallel(b *testing.B) {
+	d := datagen.RandomNominal(1500, 10, 4, 0.2, 31)
+	for _, p := range parallelLevels() {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bag := &classify.Bagging{Size: 16, Seed: 7, Parallelism: p}
+				if err := bag.Train(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKMeansParallel(b *testing.B) {
+	d := datagen.GaussianClusters(8, 10000, 8, 6, 19)
+	for _, p := range parallelLevels() {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				km := &cluster.KMeans{K: 8, MaxIter: 40, Seed: 3, Parallelism: p}
+				if err := km.Build(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,12 +1,17 @@
 // Command dminfo prints the dataset statistics block of the paper's
 // Figure 3 for an ARFF or CSV file (or for the embedded breast-cancer
-// replica when run with -embedded breast-cancer).
+// replica when run with -embedded breast-cancer). It also introspects
+// the toolkit itself: -list prints every registered algorithm, and
+// -arff dumps an embedded dataset as an ARFF document (handy for
+// feeding the SOAP services from scripts).
 //
 // Usage:
 //
 //	dminfo file.arff
 //	dminfo -format csv file.csv
 //	dminfo -embedded breast-cancer
+//	dminfo -embedded weather -arff
+//	dminfo -list
 package main
 
 import (
@@ -17,6 +22,9 @@ import (
 	"strings"
 
 	"repro/internal/arff"
+	"repro/internal/attrsel"
+	"repro/internal/classify"
+	"repro/internal/cluster"
 	"repro/internal/csvconv"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
@@ -25,7 +33,25 @@ import (
 func main() {
 	format := flag.String("format", "", "input format: arff or csv (default: by extension)")
 	embedded := flag.String("embedded", "", "print an embedded dataset: breast-cancer, weather, weather-numeric, contact-lenses")
+	list := flag.Bool("list", false, "list registered classifiers, clusterers and attribute-selection approaches")
+	asARFF := flag.Bool("arff", false, "dump the dataset as an ARFF document instead of the statistics block")
 	flag.Parse()
+
+	if *list {
+		fmt.Println("Classifiers:")
+		for _, n := range classify.Names() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("Clusterers:")
+		for _, n := range cluster.Names() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("Attribute selection:")
+		for _, n := range attrsel.Approaches() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
 
 	var d *dataset.Dataset
 	switch {
@@ -70,6 +96,10 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *asARFF {
+		fmt.Print(arff.Format(d))
+		return
 	}
 	fmt.Printf("Relation: %s\n\n", d.Relation)
 	fmt.Print(dataset.Summarize(d).Format())

@@ -37,7 +37,17 @@ type SubsetEvaluator interface {
 // contingency builds the attribute-value × class weight table for nominal
 // column col; numeric columns are discretised into ten equal-width bins.
 func contingency(d *dataset.Dataset, col int) ([][]float64, error) {
-	ca := d.ClassAttribute()
+	return contingencyWith(d, col, d.ClassIndex)
+}
+
+// contingencyWith is contingency against an explicit "class" column, so
+// callers that pair two ordinary attributes (CFS redundancy terms) need
+// not mutate d.ClassIndex — which would race under parallel search.
+func contingencyWith(d *dataset.Dataset, col, classIdx int) ([][]float64, error) {
+	if classIdx < 0 || classIdx >= d.NumAttributes() {
+		return nil, fmt.Errorf("attrsel: dataset needs a nominal class")
+	}
+	ca := d.Attrs[classIdx]
 	if ca == nil || !ca.IsNominal() {
 		return nil, fmt.Errorf("attrsel: dataset needs a nominal class")
 	}
@@ -81,7 +91,7 @@ func contingency(d *dataset.Dataset, col int) ([][]float64, error) {
 		tbl[i] = make([]float64, k)
 	}
 	for _, in := range d.Instances {
-		v, cv := in.Values[col], in.Values[d.ClassIndex]
+		v, cv := in.Values[col], in.Values[classIdx]
 		if dataset.IsMissing(v) || dataset.IsMissing(cv) {
 			continue
 		}

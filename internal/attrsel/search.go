@@ -1,11 +1,13 @@
 package attrsel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Search explores the space of attribute subsets with a subset evaluator.
@@ -35,7 +37,10 @@ type Ranking struct {
 }
 
 // RankAttributes scores every candidate attribute with a single-attribute
-// evaluator and returns them best-first — the Ranker search.
+// evaluator and returns them best-first — the Ranker search. Columns are
+// scored across the machine's CPUs; every merit lands in its column's slot
+// and the stable sort runs over the same values in the same order, so the
+// ranking is identical to a sequential scan.
 func RankAttributes(eval AttributeEvaluator, d *dataset.Dataset) (Ranking, error) {
 	if err := eval.Prepare(d); err != nil {
 		return Ranking{}, err
@@ -45,13 +50,17 @@ func RankAttributes(eval AttributeEvaluator, d *dataset.Dataset) (Ranking, error
 		col   int
 		merit float64
 	}
-	ss := make([]scored, 0, len(cols))
-	for _, c := range cols {
-		m, err := eval.Evaluate(c)
+	ss := make([]scored, len(cols))
+	err := parallel.ForEach(context.Background(), len(cols), 0, func(i int) error {
+		m, err := eval.Evaluate(cols[i])
 		if err != nil {
-			return Ranking{}, err
+			return err
 		}
-		ss = append(ss, scored{c, m})
+		ss[i] = scored{cols[i], m}
+		return nil
+	})
+	if err != nil {
+		return Ranking{}, err
 	}
 	sort.SliceStable(ss, func(i, j int) bool { return ss[i].merit > ss[j].merit })
 	r := Ranking{}
@@ -63,14 +72,41 @@ func RankAttributes(eval AttributeEvaluator, d *dataset.Dataset) (Ranking, error
 	return r, nil
 }
 
+// evalSubsets scores every candidate subset, fanning the evaluations
+// across workers (<= 0 means one per CPU). Each merit lands in its
+// candidate's slot so callers reduce in candidate order — a parallel
+// search therefore visits improvements in exactly the sequence the
+// sequential loop did, and on failure the lowest-indexed error is
+// returned, matching the sequential loop's first error.
+func evalSubsets(eval SubsetEvaluator, sets [][]int, workers int) ([]float64, error) {
+	merits := make([]float64, len(sets))
+	err := parallel.ForEach(context.Background(), len(sets), workers, func(i int) error {
+		m, err := eval.EvaluateSubset(sets[i])
+		if err != nil {
+			return err
+		}
+		merits[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merits, nil
+}
+
 // GreedyForward adds the best attribute until no addition improves merit.
-type GreedyForward struct{}
+// Each round's candidate evaluations run on Parallelism workers (<= 0
+// means one per CPU); the winner is picked in column order afterwards, so
+// the selected subset is identical at any worker count.
+type GreedyForward struct {
+	Parallelism int
+}
 
 // Name implements Search.
 func (GreedyForward) Name() string { return "GreedyStepwise(forward)" }
 
 // Search implements Search.
-func (GreedyForward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+func (g GreedyForward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
 	if err := eval.Prepare(d); err != nil {
 		return nil, err
 	}
@@ -79,18 +115,22 @@ func (GreedyForward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, er
 	var current []int
 	best := 0.0
 	for {
-		improved := false
-		bestCol, bestMerit := -1, best
+		var trials [][]int
 		for _, c := range cols {
 			if in[c] {
 				continue
 			}
-			m, err := eval.EvaluateSubset(append(append([]int(nil), current...), c))
-			if err != nil {
-				return nil, err
-			}
-			if m > bestMerit+1e-12 {
-				bestCol, bestMerit = c, m
+			trials = append(trials, append(append([]int(nil), current...), c))
+		}
+		merits, err := evalSubsets(eval, trials, g.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		improved := false
+		bestCol, bestMerit := -1, best
+		for i, trial := range trials {
+			if m := merits[i]; m > bestMerit+1e-12 {
+				bestCol, bestMerit = trial[len(trial)-1], m
 				improved = true
 			}
 		}
@@ -106,14 +146,19 @@ func (GreedyForward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, er
 }
 
 // GreedyBackward starts from the full set and removes attributes while
-// removal does not hurt merit.
-type GreedyBackward struct{}
+// removal does not hurt merit. Each round's removal trials run on
+// Parallelism workers (<= 0 means one per CPU) with the pick reduced in
+// index order afterwards, so later indices still win ties exactly as the
+// sequential loop's >= comparison did.
+type GreedyBackward struct {
+	Parallelism int
+}
 
 // Name implements Search.
 func (GreedyBackward) Name() string { return "GreedyStepwise(backward)" }
 
 // Search implements Search.
-func (GreedyBackward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+func (g GreedyBackward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
 	if err := eval.Prepare(d); err != nil {
 		return nil, err
 	}
@@ -123,16 +168,20 @@ func (GreedyBackward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, e
 		return nil, err
 	}
 	for len(current) > 1 {
-		bestIdx, bestMerit := -1, best
+		trials := make([][]int, len(current))
 		for i := range current {
 			trial := make([]int, 0, len(current)-1)
 			trial = append(trial, current[:i]...)
 			trial = append(trial, current[i+1:]...)
-			m, err := eval.EvaluateSubset(trial)
-			if err != nil {
-				return nil, err
-			}
-			if m >= bestMerit-1e-12 {
+			trials[i] = trial
+		}
+		merits, err := evalSubsets(eval, trials, g.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		bestIdx, bestMerit := -1, best
+		for i := range trials {
+			if m := merits[i]; m >= bestMerit-1e-12 {
 				bestIdx, bestMerit = i, m
 			}
 		}
@@ -148,9 +197,13 @@ func (GreedyBackward) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, e
 
 // BestFirst is greedy forward search with limited backtracking: it keeps an
 // open list of expanded subsets and stops after MaxStale non-improving
-// expansions (WEKA's default search).
+// expansions (WEKA's default search). The children of each expanded node
+// are generated (and marked visited) sequentially, then scored on
+// Parallelism workers (<= 0 means one per CPU) and reduced in column
+// order, so the frontier evolves identically at any worker count.
 type BestFirst struct {
-	MaxStale int
+	MaxStale    int
+	Parallelism int
 }
 
 // Name implements Search.
@@ -191,7 +244,7 @@ func (b BestFirst) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, erro
 		}
 		cur := open[bi]
 		open = append(open[:bi], open[bi+1:]...)
-		improvedBest := false
+		var children [][]int
 		for _, c := range cols {
 			if containsInt(cur.set, c) {
 				continue
@@ -203,10 +256,15 @@ func (b BestFirst) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, erro
 				continue
 			}
 			visited[k] = true
-			m, err := eval.EvaluateSubset(child)
-			if err != nil {
-				return nil, err
-			}
+			children = append(children, child)
+		}
+		merits, err := evalSubsets(eval, children, b.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		improvedBest := false
+		for i, child := range children {
+			m := merits[i]
 			open = append(open, node{child, m})
 			if m > bestMerit+1e-12 {
 				bestSet, bestMerit = child, m
@@ -233,10 +291,15 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
-// RandomSearch samples random subsets and keeps the best.
+// RandomSearch samples random subsets and keeps the best. All trial
+// subsets are drawn from the seeded rng up front (so the random stream is
+// untouched by worker count), scored on Parallelism workers (<= 0 means
+// one per CPU), and reduced in trial order — the selected subset is the
+// one the sequential scan would have kept.
 type RandomSearch struct {
-	Trials int
-	Seed   int64
+	Trials      int
+	Seed        int64
+	Parallelism int
 }
 
 // Name implements Search.
@@ -252,8 +315,7 @@ func (r RandomSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, e
 	}
 	cols := candidateColumns(d)
 	rng := rand.New(rand.NewSource(r.Seed))
-	var bestSet []int
-	best := -1.0
+	var trials [][]int
 	for t := 0; t < r.Trials; t++ {
 		var set []int
 		for _, c := range cols {
@@ -264,11 +326,16 @@ func (r RandomSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, e
 		if len(set) == 0 {
 			continue
 		}
-		m, err := eval.EvaluateSubset(set)
-		if err != nil {
-			return nil, err
-		}
-		if m > best {
+		trials = append(trials, set)
+	}
+	merits, err := evalSubsets(eval, trials, r.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var bestSet []int
+	best := -1.0
+	for i, set := range trials {
+		if m := merits[i]; m > best {
 			best, bestSet = m, set
 		}
 	}
@@ -277,13 +344,19 @@ func (r RandomSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, e
 }
 
 // Exhaustive enumerates every non-empty subset (guarded to <= 20 columns).
-type Exhaustive struct{}
+// Masks are scored in fixed-size chunks on Parallelism workers (<= 0
+// means one per CPU) and reduced in ascending mask order, preserving the
+// sequential tie-break (equal merit keeps the earlier, smaller subset)
+// while bounding memory to one chunk of candidate slices.
+type Exhaustive struct {
+	Parallelism int
+}
 
 // Name implements Search.
 func (Exhaustive) Name() string { return "Exhaustive" }
 
 // Search implements Search.
-func (Exhaustive) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
+func (e Exhaustive) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error) {
 	if err := eval.Prepare(d); err != nil {
 		return nil, err
 	}
@@ -291,21 +364,32 @@ func (Exhaustive) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error
 	if len(cols) > 20 {
 		return nil, fmt.Errorf("attrsel: exhaustive search over %d attributes is infeasible", len(cols))
 	}
+	const chunk = 4096
 	var bestSet []int
 	best := -1.0
-	for mask := 1; mask < 1<<len(cols); mask++ {
-		var set []int
-		for i, c := range cols {
-			if mask&(1<<i) != 0 {
-				set = append(set, c)
-			}
+	for lo := 1; lo < 1<<len(cols); lo += chunk {
+		hi := lo + chunk
+		if max := 1 << len(cols); hi > max {
+			hi = max
 		}
-		m, err := eval.EvaluateSubset(set)
+		sets := make([][]int, 0, hi-lo)
+		for mask := lo; mask < hi; mask++ {
+			var set []int
+			for i, c := range cols {
+				if mask&(1<<i) != 0 {
+					set = append(set, c)
+				}
+			}
+			sets = append(sets, set)
+		}
+		merits, err := evalSubsets(eval, sets, e.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		if m > best || (m == best && len(set) < len(bestSet)) {
-			best, bestSet = m, set
+		for i, set := range sets {
+			if m := merits[i]; m > best || (m == best && len(set) < len(bestSet)) {
+				best, bestSet = m, set
+			}
 		}
 	}
 	sort.Ints(bestSet)
@@ -316,12 +400,19 @@ func (Exhaustive) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, error
 // tournament selection, uniform crossover and bit-flip mutation — the
 // "genetic search operator" of §1 used in §5.3 to automate attribute
 // selection.
+//
+// Each generation's genomes are bred sequentially from the seeded rng
+// (fitness consumes no randomness, so the stream is identical at any
+// worker count), then scored together on Parallelism workers (<= 0 means
+// one per CPU) and reduced in breeding order — the evolved subset is
+// byte-identical to a sequential run.
 type GeneticSearch struct {
 	Population  int
 	Generations int
 	CrossonProb float64
 	MutateProb  float64
 	Seed        int64
+	Parallelism int
 }
 
 // Name implements Search.
@@ -363,12 +454,23 @@ func (g GeneticSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, 
 		}
 		return set
 	}
-	fitness := func(bits []bool) (float64, error) {
-		set := decode(bits)
-		if len(set) == 0 {
-			return 0, nil
-		}
-		return eval.EvaluateSubset(set)
+	// scoreAll evaluates a batch of genomes in parallel, writing each
+	// fitness into its genome's slot (an empty subset scores 0, as the
+	// sequential fitness helper did).
+	scoreAll := func(batch []genome) error {
+		return parallel.ForEach(context.Background(), len(batch), g.Parallelism, func(i int) error {
+			set := decode(batch[i].bits)
+			if len(set) == 0 {
+				batch[i].fit = 0
+				return nil
+			}
+			f, err := eval.EvaluateSubset(set)
+			if err != nil {
+				return err
+			}
+			batch[i].fit = f
+			return nil
+		})
 	}
 	pop := make([]genome, g.Population)
 	for i := range pop {
@@ -376,11 +478,10 @@ func (g GeneticSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, 
 		for j := range bits {
 			bits[j] = rng.Float64() < 0.5
 		}
-		f, err := fitness(bits)
-		if err != nil {
-			return nil, err
-		}
-		pop[i] = genome{bits, f}
+		pop[i] = genome{bits, 0}
+	}
+	if err := scoreAll(pop); err != nil {
+		return nil, err
 	}
 	bestBits, bestFit := append([]bool(nil), pop[0].bits...), pop[0].fit
 	for _, p := range pop {
@@ -397,7 +498,8 @@ func (g GeneticSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, 
 	}
 	for gen := 0; gen < g.Generations; gen++ {
 		next := make([]genome, 0, g.Population)
-		// Elitism: carry the best genome forward unchanged.
+		// Elitism: carry the best genome forward unchanged (its fitness is
+		// already known, so it is not re-scored).
 		next = append(next, genome{append([]bool(nil), bestBits...), bestFit})
 		for len(next) < g.Population {
 			p1, p2 := tournament(), tournament()
@@ -418,13 +520,14 @@ func (g GeneticSearch) Search(eval SubsetEvaluator, d *dataset.Dataset) ([]int, 
 					child[j] = !child[j]
 				}
 			}
-			f, err := fitness(child)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, genome{child, f})
-			if f > bestFit {
-				bestBits, bestFit = append([]bool(nil), child...), f
+			next = append(next, genome{child, 0})
+		}
+		if err := scoreAll(next[1:]); err != nil {
+			return nil, err
+		}
+		for _, c := range next[1:] {
+			if c.fit > bestFit {
+				bestBits, bestFit = append([]bool(nil), c.bits...), c.fit
 			}
 		}
 		pop = next

@@ -3,6 +3,7 @@ package attrsel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
@@ -11,10 +12,14 @@ import (
 // CFS is correlation-based feature subset selection (Hall): merit =
 // k*avg(attr-class SU) / sqrt(k + k(k-1)*avg(attr-attr SU)). It favours
 // subsets correlated with the class but uncorrelated with each other.
+// EvaluateSubset is safe for concurrent use (parallel subset search):
+// the pair-SU cache is mutex-guarded and the dataset is never mutated.
 type CFS struct {
 	d       *dataset.Dataset
 	classSU []float64
-	pairSU  map[[2]int]float64
+
+	mu     sync.Mutex
+	pairSU map[[2]int]float64
 }
 
 // Name implements SubsetEvaluator.
@@ -52,24 +57,28 @@ func (e *CFS) attrPairSU(a, b int) float64 {
 		a, b = b, a
 	}
 	key := [2]int{a, b}
-	if v, ok := e.pairSU[key]; ok {
+	e.mu.Lock()
+	v, ok := e.pairSU[key]
+	e.mu.Unlock()
+	if ok {
 		return v
 	}
-	// Build the joint table by temporarily treating b as the "class".
-	saved := e.d.ClassIndex
-	e.d.ClassIndex = b
-	tbl, err := contingency(e.d, a)
-	e.d.ClassIndex = saved
+	// Build the joint table treating b as the "class" column.
+	tbl, err := contingencyWith(e.d, a, b)
 	if err != nil {
+		e.mu.Lock()
 		e.pairSU[key] = 0
+		e.mu.Unlock()
 		return 0
 	}
 	g, attrH, classH := infoGainOf(tbl)
-	v := 0.0
+	v = 0.0
 	if attrH+classH > 1e-12 {
 		v = 2 * g / (attrH + classH)
 	}
+	e.mu.Lock()
 	e.pairSU[key] = v
+	e.mu.Unlock()
 	return v
 }
 
@@ -102,8 +111,8 @@ func (e *CFS) EvaluateSubset(cols []int) (float64, error) {
 	return k * rcf / den, nil
 }
 
-// Nominal-class contingency over an attribute pair is handled by
-// temporarily swapping the class index; see attrPairSU.
+// Nominal-class contingency over an attribute pair is computed against
+// an explicit class column (contingencyWith); see attrPairSU.
 
 // Wrapper evaluates subsets by the cross-validated accuracy of a classifier
 // trained on the projected dataset.

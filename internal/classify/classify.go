@@ -9,6 +9,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,6 +46,34 @@ type Updateable interface {
 	Begin(schema *dataset.Dataset) error
 	// Update folds one instance into the model.
 	Update(in *dataset.Instance) error
+}
+
+// ContextTrainer marks classifiers whose training honours context
+// cancellation — long-running ensemble or search-based learners. The
+// evaluation layer trains through TrainWith, so a remote caller's
+// deadline cancels in-flight member training instead of waiting it out.
+type ContextTrainer interface {
+	Classifier
+	// TrainContext is Train with cooperative cancellation: it returns
+	// ctx.Err() promptly once the context is done.
+	TrainContext(ctx context.Context, d *dataset.Dataset) error
+}
+
+// TrainWith trains c under ctx: via TrainContext when the classifier
+// supports it, otherwise a plain Train bracketed by ctx checks (the
+// model still builds to completion, but a cancelled caller is answered
+// as soon as training returns).
+func TrainWith(ctx context.Context, c Classifier, d *dataset.Dataset) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ct, ok := c.(ContextTrainer); ok {
+		return ct.TrainContext(ctx, d)
+	}
+	if err := c.Train(d); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Option describes one run-time parameter of an algorithm, the unit of the

@@ -1,14 +1,14 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"strconv"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // RandomTree grows an unpruned decision tree considering a random subset of
@@ -132,10 +132,14 @@ func (t *RandomTree) Distribution(in *dataset.Instance) ([]float64, error) {
 // Bagging trains Size base classifiers on bootstrap resamples and averages
 // their distributions. Base models train in parallel across goroutines —
 // the "multiple computational resources" idea of Grid WEKA realised on a
-// shared-memory host.
+// shared-memory host. Each member draws its bootstrap sample from its
+// own RNG seeded by parallel.DeriveSeed(Seed, i), so member i's model is
+// reproducible regardless of training order or worker count.
 type Bagging struct {
 	Size int
 	Seed int64
+	// Parallelism bounds member-training workers; <= 0 means one per CPU.
+	Parallelism int
 	// Base constructs each base learner; defaults to unpruned J48.
 	Base func() Classifier
 
@@ -152,6 +156,7 @@ func (b *Bagging) Options() []Option {
 	return []Option{
 		{Name: "size", Description: "number of bagged models", Default: "10"},
 		{Name: "seed", Description: "bootstrap seed", Default: "1"},
+		{Name: "parallelism", Description: "member-training workers (<=0: one per CPU)", Default: "0"},
 	}
 }
 
@@ -170,6 +175,12 @@ func (b *Bagging) SetOption(name, value string) error {
 			return fmt.Errorf("classify: Bagging seed must be an integer, got %q", value)
 		}
 		b.Seed = n
+	case "parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("classify: Bagging parallelism must be an integer, got %q", value)
+		}
+		b.Parallelism = n
 	default:
 		return fmt.Errorf("classify: Bagging has no option %q", name)
 	}
@@ -178,6 +189,12 @@ func (b *Bagging) SetOption(name, value string) error {
 
 // Train implements Classifier.
 func (b *Bagging) Train(d *dataset.Dataset) error {
+	return b.TrainContext(context.Background(), d)
+}
+
+// TrainContext implements ContextTrainer: member training stops promptly
+// once ctx is cancelled.
+func (b *Bagging) TrainContext(ctx context.Context, d *dataset.Dataset) error {
 	if err := checkTrainable(d); err != nil {
 		return err
 	}
@@ -189,49 +206,49 @@ func (b *Bagging) Train(d *dataset.Dataset) error {
 			return j
 		}
 	}
-	b.members = make([]Classifier, b.Size)
-	errs := make([]error, b.Size)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < b.Size; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(b.Seed + int64(i)))
-			sample := dataset.Resample(d, d.NumInstances(), rng)
-			m := base()
-			if rt, ok := m.(*RandomTree); ok {
-				rt.Seed = b.Seed + int64(i)
-			}
-			if err := m.Train(sample); err != nil {
-				errs[i] = err
-				return
-			}
-			b.members[i] = m
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return fmt.Errorf("classify: Bagging member failed: %w", err)
+	members := make([]Classifier, b.Size)
+	err := parallel.ForEach(ctx, b.Size, b.Parallelism, func(i int) error {
+		seed := parallel.DeriveSeed(b.Seed, i)
+		rng := rand.New(rand.NewSource(seed))
+		sample := dataset.ResampleView(d, d.NumInstances(), rng).Materialize()
+		m := base()
+		if rt, ok := m.(*RandomTree); ok {
+			rt.Seed = seed
 		}
+		if err := m.Train(sample); err != nil {
+			return fmt.Errorf("classify: Bagging member %d failed: %w", i, err)
+		}
+		members[i] = m
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	b.members = members
 	return nil
 }
 
-// Distribution implements Classifier.
+// Distribution implements Classifier. Member votes are collected in
+// parallel (bounded by Parallelism) and summed in member order, so the
+// result is bit-identical to a sequential poll.
 func (b *Bagging) Distribution(in *dataset.Instance) ([]float64, error) {
 	if len(b.members) == 0 {
 		return nil, fmt.Errorf("classify: Bagging is untrained")
 	}
-	var out []float64
-	for _, m := range b.members {
-		dist, err := m.Distribution(in)
+	dists := make([][]float64, len(b.members))
+	err := parallel.ForEach(context.Background(), len(b.members), b.Parallelism, func(i int) error {
+		dist, err := b.members[i].Distribution(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		dists[i] = dist
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for _, dist := range dists {
 		if out == nil {
 			out = make([]float64, len(dist))
 		}

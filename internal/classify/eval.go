@@ -1,11 +1,15 @@
 package classify
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Evaluation accumulates test results for a classifier, covering the
@@ -152,10 +156,46 @@ func (e *Evaluation) String() string {
 	return b.String()
 }
 
-// CrossValidate runs stratified k-fold cross-validation, constructing a
-// fresh classifier via factory for each fold, and returns the pooled
-// evaluation.
-func CrossValidate(factory Factory, d *dataset.Dataset, k int, seed int64) (*Evaluation, error) {
+// CVOption configures CrossValidateContext.
+type CVOption func(*cvConfig)
+
+type cvConfig struct {
+	parallelism int
+	metrics     *obs.Registry
+}
+
+// Parallelism sets the fold worker count: p <= 0 (the default) means one
+// worker per CPU, 1 forces the sequential path. Results are bit-identical
+// at every setting — parallel folds record predictions per fold and the
+// pooled Evaluation replays them in fold order, preserving the float
+// accumulation order of the sequential loop.
+func Parallelism(p int) CVOption {
+	return func(c *cvConfig) { c.parallelism = p }
+}
+
+// WithMetrics routes kernel instrumentation to reg instead of obs.Default.
+func WithMetrics(reg *obs.Registry) CVOption {
+	return func(c *cvConfig) { c.metrics = reg }
+}
+
+// record is one labelled prediction, buffered so parallel folds can
+// replay into the pooled Evaluation in deterministic order.
+type record struct {
+	actual, predicted int
+	weight            float64
+}
+
+// CrossValidateContext runs stratified k-fold cross-validation,
+// constructing a fresh classifier via factory for each fold, training
+// folds in parallel (see Parallelism), and returns the pooled
+// evaluation. Fold membership depends only on (d, k, seed); the result
+// is bit-identical at any worker count. Cancelling ctx aborts remaining
+// folds and returns ctx.Err().
+func CrossValidateContext(ctx context.Context, factory Factory, d *dataset.Dataset, k int, seed int64, opts ...CVOption) (*Evaluation, error) {
+	var cfg cvConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := checkTrainable(d); err != nil {
 		return nil, err
 	}
@@ -163,21 +203,94 @@ func CrossValidate(factory Factory, d *dataset.Dataset, k int, seed int64) (*Eva
 	if err != nil {
 		return nil, err
 	}
-	folds, err := dataset.Folds(d, k, rand.New(rand.NewSource(seed)))
+	folds, err := dataset.FoldsView(d, k, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}
-	for i := range folds {
-		train, test := dataset.TrainTestForFold(d, folds, i)
-		c := factory()
-		if err := c.Train(train); err != nil {
-			return nil, fmt.Errorf("classify: fold %d: %w", i, err)
+	workers := parallel.Workers(cfg.parallelism)
+	if workers <= 1 {
+		// Sequential fast path: accumulate straight into the evaluation,
+		// no record buffers — allocation parity with the pre-parallel code.
+		for i := range folds {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			train, test := dataset.TrainTestViewForFold(d, folds, i)
+			c := factory()
+			if err := TrainWith(ctx, c, train.Materialize()); err != nil {
+				return nil, foldErr(i, err)
+			}
+			if err := testFold(e.Record, c, test); err != nil {
+				return nil, foldErr(i, err)
+			}
 		}
-		if err := e.TestModel(c, test); err != nil {
-			return nil, fmt.Errorf("classify: fold %d: %w", i, err)
+		return e, nil
+	}
+	recs := make([][]record, len(folds))
+	st, err := parallel.ForEachStats(ctx, len(folds), workers, func(i int) error {
+		train, test := dataset.TrainTestViewForFold(d, folds, i)
+		c := factory()
+		if err := TrainWith(ctx, c, train.Materialize()); err != nil {
+			return foldErr(i, err)
+		}
+		buf := make([]record, 0, test.NumInstances())
+		err := testFold(func(actual, predicted int, weight float64) {
+			buf = append(buf, record{actual, predicted, weight})
+		}, c, test)
+		if err != nil {
+			return foldErr(i, err)
+		}
+		recs[i] = buf
+		return nil
+	})
+	parallel.Observe(cfg.metrics, "crossvalidate", st)
+	if err != nil {
+		return nil, err
+	}
+	// Replay in fold order — the exact accumulation order of the
+	// sequential path, so the floating-point sums match bit for bit.
+	for _, buf := range recs {
+		for _, r := range buf {
+			e.Record(r.actual, r.predicted, r.weight)
 		}
 	}
 	return e, nil
+}
+
+func foldErr(i int, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("classify: fold %d: %w", i, err)
+}
+
+// testFold evaluates a trained classifier over a test view, emitting one
+// (actual, predicted, weight) triple per labelled instance in row order.
+func testFold(emit func(actual, predicted int, weight float64), c Classifier, test *dataset.View) error {
+	classIdx := test.Parent().ClassIndex
+	for i := 0; i < test.NumInstances(); i++ {
+		in := test.Instance(i)
+		actual := in.Values[classIdx]
+		if dataset.IsMissing(actual) {
+			continue
+		}
+		pred, err := Predict(c, in)
+		if err != nil {
+			return err
+		}
+		emit(int(actual), pred, in.Weight)
+	}
+	return nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation sequentially.
+//
+// Deprecated: use CrossValidateContext, which adds cancellation and
+// parallel folds. This shim (kept one release, like the PR 2 soap.Client
+// Call shim) forces Parallelism(1), preserving the exact behaviour and
+// allocation profile of the original signature.
+func CrossValidate(factory Factory, d *dataset.Dataset, k int, seed int64) (*Evaluation, error) {
+	return CrossValidateContext(context.Background(), factory, d, k, seed, Parallelism(1))
 }
 
 // Label predicts a class name for every instance of unlabelled (its class

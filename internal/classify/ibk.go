@@ -1,13 +1,19 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
+
+// ibkParallelThreshold is the case-base size below which a parallel
+// distance scan costs more in goroutine handoff than it saves.
+const ibkParallelThreshold = 1024
 
 // IBk is a k-nearest-neighbour classifier with heterogeneous distance
 // (normalised absolute difference on numerics, 0/1 overlap on nominals) and
@@ -16,6 +22,9 @@ import (
 type IBk struct {
 	K              int
 	DistanceWeight bool
+	// Parallelism bounds the distance-scan workers; <= 0 means one per
+	// CPU. Small case bases always scan sequentially.
+	Parallelism int
 
 	schema *dataset.Dataset
 	cases  []*dataset.Instance
@@ -33,6 +42,7 @@ func (k *IBk) Options() []Option {
 	return []Option{
 		{Name: "k", Description: "number of neighbours", Default: "1"},
 		{Name: "distanceWeighting", Description: "weight votes by inverse distance (true/false)", Default: "false"},
+		{Name: "parallelism", Description: "distance-scan workers (<=0: one per CPU)", Default: "0"},
 	}
 }
 
@@ -51,6 +61,12 @@ func (k *IBk) SetOption(name, value string) error {
 			return fmt.Errorf("classify: IBk distanceWeighting must be boolean, got %q", value)
 		}
 		k.DistanceWeight = b
+	case "parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("classify: IBk parallelism must be an integer, got %q", value)
+		}
+		k.Parallelism = n
 	default:
 		return fmt.Errorf("classify: IBk has no option %q", name)
 	}
@@ -159,8 +175,18 @@ func (k *IBk) Distribution(in *dataset.Instance) ([]float64, error) {
 		cls  int
 	}
 	nbs := make([]nb, len(k.cases))
-	for i, c := range k.cases {
-		nbs[i] = nb{k.distance(in, c), int(c.Values[k.schema.ClassIndex])}
+	if len(k.cases) >= ibkParallelThreshold && parallel.Workers(k.Parallelism) > 1 {
+		// Index-addressed writes keep the scan deterministic; the sort
+		// below then sees the same array the sequential fill produces.
+		_ = parallel.ForEach(context.Background(), len(k.cases), k.Parallelism, func(i int) error {
+			c := k.cases[i]
+			nbs[i] = nb{k.distance(in, c), int(c.Values[k.schema.ClassIndex])}
+			return nil
+		})
+	} else {
+		for i, c := range k.cases {
+			nbs[i] = nb{k.distance(in, c), int(c.Values[k.schema.ClassIndex])}
+		}
 	}
 	sort.Slice(nbs, func(i, j int) bool { return nbs[i].dist < nbs[j].dist })
 	kk := k.K

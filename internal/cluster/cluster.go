@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +25,30 @@ type Clusterer interface {
 	NumClusters() int
 	// Assign returns the cluster index for an instance.
 	Assign(in *dataset.Instance) (int, error)
+}
+
+// ContextBuilder marks clusterers whose Build honours context
+// cancellation (the iterative k-means/EM fitters).
+type ContextBuilder interface {
+	Clusterer
+	// BuildContext is Build with cooperative cancellation: it returns
+	// ctx.Err() promptly once the context is done.
+	BuildContext(ctx context.Context, d *dataset.Dataset) error
+}
+
+// BuildWith builds c under ctx: via BuildContext when supported,
+// otherwise a plain Build bracketed by ctx checks.
+func BuildWith(ctx context.Context, c Clusterer, d *dataset.Dataset) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cb, ok := c.(ContextBuilder); ok {
+		return cb.BuildContext(ctx, d)
+	}
+	if err := c.Build(d); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Parameterized mirrors classify.Parameterized for clusterers.

@@ -1,21 +1,28 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strconv"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // EM fits a diagonal-covariance Gaussian mixture by expectation
 // maximisation over the numeric attributes, initialised from k-means.
+// The E step parallelises per instance (responsibilities are written to
+// index-addressed rows, log-likelihood summed in index order) and the M
+// step per component, so the fit is bit-identical at any worker count.
 type EM struct {
 	K       int
 	MaxIter int
 	Seed    int64
 	Tol     float64
+	// Parallelism bounds E/M-step workers; <= 0 means one per CPU.
+	Parallelism int
 
 	cols    []int
 	weights []float64
@@ -35,6 +42,7 @@ func (em *EM) Options() []Option {
 		{Name: "k", Description: "number of mixture components", Default: "2", Required: true},
 		{Name: "maxIterations", Description: "EM iteration cap", Default: "100"},
 		{Name: "seed", Description: "initialisation seed", Default: "1"},
+		{Name: "parallelism", Description: "E/M-step workers (<=0: one per CPU)", Default: "0"},
 	}
 }
 
@@ -59,6 +67,12 @@ func (em *EM) SetOption(name, value string) error {
 			return fmt.Errorf("cluster: EM seed must be an integer, got %q", value)
 		}
 		em.Seed = n
+	case "parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("cluster: EM parallelism must be an integer, got %q", value)
+		}
+		em.Parallelism = n
 	default:
 		return fmt.Errorf("cluster: EM has no option %q", name)
 	}
@@ -67,6 +81,12 @@ func (em *EM) SetOption(name, value string) error {
 
 // Build implements Clusterer.
 func (em *EM) Build(d *dataset.Dataset) error {
+	return em.BuildContext(context.Background(), d)
+}
+
+// BuildContext implements ContextBuilder: the fit checks ctx inside the
+// E and M steps of every iteration.
+func (em *EM) BuildContext(ctx context.Context, d *dataset.Dataset) error {
 	cols, err := numericColumns(d)
 	if err != nil {
 		return err
@@ -76,8 +96,8 @@ func (em *EM) Build(d *dataset.Dataset) error {
 	}
 	em.cols = cols
 	// Initialise from k-means.
-	km := &KMeans{K: em.K, MaxIter: 20, Seed: em.Seed}
-	if err := km.Build(d); err != nil {
+	km := &KMeans{K: em.K, MaxIter: 20, Seed: em.Seed, Parallelism: em.Parallelism}
+	if err := km.BuildContext(ctx, d); err != nil {
 		return err
 	}
 	dim := len(cols)
@@ -99,10 +119,14 @@ func (em *EM) Build(d *dataset.Dataset) error {
 	}
 	_ = rand.New(rand.NewSource(em.Seed))
 	prevLL := math.Inf(-1)
+	// Per-instance log-likelihood contributions, summed sequentially in
+	// index order so the total matches the sequential fit bit for bit.
+	contrib := make([]float64, n)
 	for iter := 0; iter < em.MaxIter; iter++ {
-		// E step.
-		var ll float64
-		for i, in := range d.Instances {
+		// E step: each instance's responsibilities depend only on the
+		// current parameters, so rows fill in parallel.
+		err := parallel.ForEach(ctx, n, em.Parallelism, func(i int) error {
+			in := d.Instances[i]
 			logs := make([]float64, em.K)
 			for c := 0; c < em.K; c++ {
 				logs[c] = math.Log(em.weights[c]) + em.logGauss(in, c)
@@ -121,11 +145,19 @@ func (em *EM) Build(d *dataset.Dataset) error {
 			for c := range resp[i] {
 				resp[i][c] /= sum
 			}
-			ll += maxLog + math.Log(sum)
+			contrib[i] = maxLog + math.Log(sum)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var ll float64
+		for _, v := range contrib {
+			ll += v
 		}
 		em.logLik = ll / float64(n)
-		// M step.
-		for c := 0; c < em.K; c++ {
+		// M step: components update independently (disjoint writes).
+		err = parallel.ForEach(ctx, em.K, em.Parallelism, func(c int) error {
 			var rc float64
 			mean := make([]float64, dim)
 			for i, in := range d.Instances {
@@ -139,7 +171,7 @@ func (em *EM) Build(d *dataset.Dataset) error {
 				}
 			}
 			if rc < 1e-10 {
-				continue
+				return nil
 			}
 			for j := range mean {
 				mean[j] /= rc
@@ -161,6 +193,10 @@ func (em *EM) Build(d *dataset.Dataset) error {
 			em.weights[c] = rc / float64(n)
 			em.means[c] = mean
 			em.vars[c] = variance
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		if math.Abs(ll-prevLL) < em.Tol*math.Abs(prevLL) {
 			break

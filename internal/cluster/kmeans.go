@@ -1,20 +1,28 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // KMeans is Lloyd's algorithm with k-means++ seeding over the numeric
-// attributes.
+// attributes. The per-instance assignment scan parallelises across
+// Parallelism workers with index-addressed writes, so the fit is
+// bit-identical at any worker count (centroid recomputation stays
+// sequential to preserve float accumulation order).
 type KMeans struct {
 	K       int
 	MaxIter int
 	Seed    int64
+	// Parallelism bounds assignment-scan workers; <= 0 means one per CPU.
+	Parallelism int
 
 	cols      []int
 	Centroids [][]float64
@@ -34,6 +42,7 @@ func (km *KMeans) Options() []Option {
 		{Name: "k", Description: "number of clusters", Default: "2", Required: true},
 		{Name: "maxIterations", Description: "iteration cap", Default: "100"},
 		{Name: "seed", Description: "k-means++ seeding RNG seed", Default: "1"},
+		{Name: "parallelism", Description: "assignment-scan workers (<=0: one per CPU)", Default: "0"},
 	}
 }
 
@@ -58,6 +67,12 @@ func (km *KMeans) SetOption(name, value string) error {
 			return fmt.Errorf("cluster: SimpleKMeans seed must be an integer, got %q", value)
 		}
 		km.Seed = n
+	case "parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("cluster: SimpleKMeans parallelism must be an integer, got %q", value)
+		}
+		km.Parallelism = n
 	default:
 		return fmt.Errorf("cluster: SimpleKMeans has no option %q", name)
 	}
@@ -66,6 +81,12 @@ func (km *KMeans) SetOption(name, value string) error {
 
 // Build implements Clusterer.
 func (km *KMeans) Build(d *dataset.Dataset) error {
+	return km.BuildContext(context.Background(), d)
+}
+
+// BuildContext implements ContextBuilder: the fit checks ctx between
+// iterations and inside the assignment scan.
+func (km *KMeans) BuildContext(ctx context.Context, d *dataset.Dataset) error {
 	cols, err := numericColumns(d)
 	if err != nil {
 		return err
@@ -81,8 +102,12 @@ func (km *KMeans) Build(d *dataset.Dataset) error {
 		assign[i] = -1
 	}
 	for iter := 0; iter < km.MaxIter; iter++ {
-		changed := false
-		for i, in := range d.Instances {
+		// Each instance's nearest centroid depends only on the current
+		// centroids, so the scan parallelises with index-addressed writes;
+		// the changed flag is an order-independent OR across workers.
+		var changedFlag atomic.Bool
+		err := parallel.ForEach(ctx, d.NumInstances(), km.Parallelism, func(i int) error {
+			in := d.Instances[i]
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range km.Centroids {
 				if dd := euclidean(in, cent, cols); dd < bestD {
@@ -91,11 +116,15 @@ func (km *KMeans) Build(d *dataset.Dataset) error {
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				changedFlag.Store(true)
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		km.iters = iter + 1
-		if !changed {
+		if !changedFlag.Load() {
 			break
 		}
 		// Recompute centroids.
@@ -149,16 +178,22 @@ func (km *KMeans) seedPlusPlus(d *dataset.Dataset, rng *rand.Rand) [][]float64 {
 	cents = append(cents, pick(rng.Intn(d.NumInstances())))
 	dist2 := make([]float64, d.NumInstances())
 	for len(cents) < km.K {
-		var total float64
-		for i, in := range d.Instances {
+		// Parallel fill of per-instance distances, then a sequential
+		// index-order sum so the float total (and hence the rng draw
+		// mapping) matches the sequential fit exactly.
+		_ = parallel.ForEach(context.Background(), d.NumInstances(), km.Parallelism, func(i int) error {
 			best := math.Inf(1)
 			for _, c := range cents {
-				if dd := euclidean(in, c, km.cols); dd < best {
+				if dd := euclidean(d.Instances[i], c, km.cols); dd < best {
 					best = dd
 				}
 			}
 			dist2[i] = best * best
-			total += dist2[i]
+			return nil
+		})
+		var total float64
+		for _, w := range dist2 {
+			total += w
 		}
 		if total == 0 {
 			cents = append(cents, pick(rng.Intn(d.NumInstances())))

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestKMeansParallelDeterminism builds the same clustering at several
+// worker counts and demands identical centroids and assignments: the
+// assignment scan writes by index and the centroid update stays
+// sequential, so float summation order never varies.
+func TestKMeansParallelDeterminism(t *testing.T) {
+	d := datagen.GaussianClusters(4, 200, 3, 3.0, 9)
+	build := func(p int) *KMeans {
+		km := &KMeans{K: 4, MaxIter: 50, Seed: 5, Parallelism: p}
+		if err := km.Build(d); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		return km
+	}
+	base := build(1)
+	baseAssign, err := Assignments(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		km := build(p)
+		if !reflect.DeepEqual(km.Centroids, base.Centroids) {
+			t.Fatalf("parallelism %d: centroids differ from sequential", p)
+		}
+		assign, err := Assignments(km, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(assign, baseAssign) {
+			t.Fatalf("parallelism %d: assignments differ from sequential", p)
+		}
+	}
+}
+
+// TestEMParallelDeterminism checks the E-step's per-instance fan-out and
+// sequential log-likelihood reduction leave the fitted mixture identical
+// at any worker count, via the cluster assignments it induces.
+func TestEMParallelDeterminism(t *testing.T) {
+	d := datagen.GaussianClusters(3, 150, 2, 3.0, 4)
+	build := func(p int) *EM {
+		em := &EM{K: 3, MaxIter: 30, Seed: 2, Parallelism: p}
+		if err := em.Build(d); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		return em
+	}
+	base := build(1)
+	baseAssign, err := Assignments(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		em := build(p)
+		assign, err := Assignments(em, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(assign, baseAssign) {
+			t.Fatalf("parallelism %d: assignments differ from sequential", p)
+		}
+	}
+}

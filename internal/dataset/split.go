@@ -66,44 +66,35 @@ func StratifiedSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, test
 // Folds returns k cross-validation folds: folds[i] is the held-out test share
 // of fold i, and the corresponding training share is every other fold. When
 // the class attribute is nominal the folds are stratified.
+//
+// Deprecated: use FoldsView, which returns zero-copy views instead of
+// instance-slice copies. Folds consumes rng identically to FoldsView, so
+// both produce the same fold membership for a given seed. Kept one
+// release as a shim.
 func Folds(d *Dataset, k int, rng *rand.Rand) ([][]*Instance, error) {
-	if k < 2 {
-		return nil, fmt.Errorf("dataset: need at least 2 folds, got %d", k)
-	}
-	if k > d.NumInstances() {
-		return nil, fmt.Errorf("dataset: %d folds exceed %d instances", k, d.NumInstances())
-	}
-	ordered := make([]*Instance, 0, len(d.Instances))
-	ca := d.ClassAttribute()
-	if ca != nil && ca.IsNominal() {
-		// Round-robin by class for stratification.
-		byClass := make([][]*Instance, ca.NumValues()+1)
-		for _, in := range d.Instances {
-			v := in.Values[d.ClassIndex]
-			if IsMissing(v) {
-				byClass[ca.NumValues()] = append(byClass[ca.NumValues()], in)
-			} else {
-				byClass[int(v)] = append(byClass[int(v)], in)
-			}
-		}
-		for _, bucket := range byClass {
-			rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
-			ordered = append(ordered, bucket...)
-		}
-	} else {
-		ordered = append(ordered, d.Instances...)
-		rng.Shuffle(len(ordered), func(i, j int) { ordered[i], ordered[j] = ordered[j], ordered[i] })
+	views, err := FoldsView(d, k, rng)
+	if err != nil {
+		return nil, err
 	}
 	folds := make([][]*Instance, k)
-	for i, in := range ordered {
-		folds[i%k] = append(folds[i%k], in)
+	for i, v := range views {
+		folds[i] = v.Materialize().Instances
 	}
 	return folds, nil
 }
 
 // TrainTestForFold assembles the train/test datasets for fold i of folds.
+//
+// Deprecated: use TrainTestViewForFold with FoldsView. Kept one release
+// as a shim.
 func TrainTestForFold(d *Dataset, folds [][]*Instance, i int) (train, test *Dataset) {
-	var trIns []*Instance
+	n := 0
+	for j, f := range folds {
+		if j != i {
+			n += len(f)
+		}
+	}
+	trIns := make([]*Instance, 0, n)
 	for j, f := range folds {
 		if j != i {
 			trIns = append(trIns, f...)
@@ -114,12 +105,11 @@ func TrainTestForFold(d *Dataset, folds [][]*Instance, i int) (train, test *Data
 
 // Resample returns a bootstrap sample of d with n instances drawn with
 // replacement using rng (bagging substrate).
+//
+// Deprecated: use ResampleView, which returns a zero-copy view and
+// consumes rng identically. Kept one release as a shim.
 func Resample(d *Dataset, n int, rng *rand.Rand) *Dataset {
-	ins := make([]*Instance, n)
-	for i := range ins {
-		ins[i] = d.Instances[rng.Intn(len(d.Instances))]
-	}
-	return d.ShallowWith(ins)
+	return ResampleView(d, n, rng).Materialize()
 }
 
 // WeightedResample draws n instances with replacement with probability

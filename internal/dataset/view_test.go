@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func viewTestDataset(n int) *Dataset {
+	d := &Dataset{
+		Relation: "view-test",
+		Attrs: []*Attribute{
+			NewNumericAttribute("x"),
+			NewNominalAttribute("class", "a", "b", "c"),
+		},
+		ClassIndex: 1,
+	}
+	for i := 0; i < n; i++ {
+		d.Instances = append(d.Instances, &Instance{
+			Values: []float64{float64(i), float64(i % 3)},
+			Weight: 1,
+		})
+	}
+	return d
+}
+
+func TestViewSharesInstances(t *testing.T) {
+	d := viewTestDataset(10)
+	v := NewView(d, []int{2, 5, 7})
+	if v.NumInstances() != 3 {
+		t.Fatalf("NumInstances = %d", v.NumInstances())
+	}
+	for i, r := range []int{2, 5, 7} {
+		if v.Instance(i) != d.Instances[r] {
+			t.Fatalf("Instance(%d) is not parent row %d", i, r)
+		}
+	}
+	m := v.Materialize()
+	if m.ClassIndex != d.ClassIndex || len(m.Attrs) != len(d.Attrs) {
+		t.Fatal("Materialize lost schema")
+	}
+	for i := range m.Instances {
+		if m.Instances[i] != v.Instance(i) {
+			t.Fatal("Materialize copied instances instead of sharing pointers")
+		}
+	}
+}
+
+func TestAllCoversDataset(t *testing.T) {
+	d := viewTestDataset(6)
+	v := All(d)
+	if v.NumInstances() != 6 || v.Parent() != d {
+		t.Fatal("All view wrong shape")
+	}
+	for i := range d.Instances {
+		if v.Instance(i) != d.Instances[i] {
+			t.Fatalf("All view reorders rows at %d", i)
+		}
+	}
+}
+
+// FoldsView must consume rng identically to the deprecated Folds so the
+// two APIs agree on fold membership for a given seed.
+func TestFoldsViewMatchesFolds(t *testing.T) {
+	d := viewTestDataset(31)
+	views, err := FoldsView(d, 5, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds, err := Folds(d, 5, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(folds) {
+		t.Fatalf("%d views vs %d folds", len(views), len(folds))
+	}
+	total := 0
+	for i := range views {
+		if views[i].NumInstances() != len(folds[i]) {
+			t.Fatalf("fold %d: %d vs %d instances", i, views[i].NumInstances(), len(folds[i]))
+		}
+		for j := range folds[i] {
+			if views[i].Instance(j) != folds[i][j] {
+				t.Fatalf("fold %d row %d differs between APIs", i, j)
+			}
+		}
+		total += len(folds[i])
+	}
+	if total != d.NumInstances() {
+		t.Fatalf("folds cover %d of %d instances", total, d.NumInstances())
+	}
+}
+
+func TestTrainTestViewForFold(t *testing.T) {
+	d := viewTestDataset(20)
+	views, err := FoldsView(d, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range views {
+		train, test := TrainTestViewForFold(d, views, i)
+		if test != views[i] {
+			t.Fatalf("fold %d: test is not folds[i]", i)
+		}
+		if train.NumInstances()+test.NumInstances() != d.NumInstances() {
+			t.Fatalf("fold %d: train %d + test %d != %d",
+				i, train.NumInstances(), test.NumInstances(), d.NumInstances())
+		}
+		seen := map[*Instance]bool{}
+		for j := 0; j < train.NumInstances(); j++ {
+			seen[train.Instance(j)] = true
+		}
+		for j := 0; j < test.NumInstances(); j++ {
+			if seen[test.Instance(j)] {
+				t.Fatalf("fold %d: instance in both shares", i)
+			}
+		}
+	}
+}
+
+func TestResampleViewMatchesResample(t *testing.T) {
+	d := viewTestDataset(15)
+	v := ResampleView(d, 30, rand.New(rand.NewSource(3)))
+	old := Resample(d, 30, rand.New(rand.NewSource(3)))
+	if v.NumInstances() != 30 || len(old.Instances) != 30 {
+		t.Fatal("wrong sample size")
+	}
+	for i := range old.Instances {
+		if v.Instance(i) != old.Instances[i] {
+			t.Fatalf("draw %d differs between APIs", i)
+		}
+	}
+}

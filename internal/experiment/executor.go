@@ -3,7 +3,6 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -51,19 +50,25 @@ type Executor interface {
 // Local executes jobs in-process against the algorithm substrates:
 // classify jobs run stratified cross-validation, cluster jobs build and
 // score the clustering, attrsel jobs rank attributes.
-type Local struct{}
+type Local struct {
+	// Parallelism bounds the compute-kernel workers inside each job
+	// (cross-validation folds, clustering scans); <= 0 means one per
+	// CPU, 1 keeps a job single-threaded — the right setting when the
+	// scheduler already saturates the machine with concurrent jobs.
+	Parallelism int
+}
 
 // Name implements Executor.
 func (Local) Name() string { return "local" }
 
 // Execute implements Executor.
-func (Local) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, error) {
+func (l Local) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, error) {
 	if d == nil {
 		return Metrics{}, fmt.Errorf("experiment: job %s: no dataset %q", job.ID, job.Dataset)
 	}
 	switch job.Task {
 	case "", TaskClassify:
-		return localClassify(ctx, job, d)
+		return l.localClassify(ctx, job, d)
 	case TaskCluster:
 		return localCluster(ctx, job, d)
 	case TaskAttrSel:
@@ -73,35 +78,32 @@ func (Local) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metrics,
 	}
 }
 
-// localClassify cross-validates the configured classifier, checking ctx
-// between folds so a per-job timeout interrupts long CPU-bound training.
+// localClassify cross-validates the configured classifier through
+// classify.CrossValidateContext, so a per-job timeout interrupts
+// long CPU-bound training and folds run on the executor's Parallelism.
 // With Folds < 2 the classifier is trained and evaluated on the full
 // dataset (resubstitution), matching the Classifier service's
 // classifyInstance semantics.
-func localClassify(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, error) {
-	build := func() (classify.Classifier, error) {
-		c, err := classify.New(job.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-		if err := classify.Configure(c, job.Options); err != nil {
-			return nil, err
-		}
-		return c, nil
-	}
-	ev, err := classify.NewEvaluation(d)
+func (l Local) localClassify(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, error) {
+	// Validate name and options once; CrossValidateContext's factory
+	// cannot return an error, so it re-applies the already-validated,
+	// deterministic configuration below.
+	probe, err := classify.New(job.Algorithm)
 	if err != nil {
 		return Metrics{}, err
 	}
+	if err := classify.Configure(probe, job.Options); err != nil {
+		return Metrics{}, err
+	}
 	if job.Folds < 2 {
-		c, err := build()
+		ev, err := classify.NewEvaluation(d)
 		if err != nil {
 			return Metrics{}, err
 		}
-		if err := c.Train(d); err != nil {
+		if err := classify.TrainWith(ctx, probe, d); err != nil {
 			return Metrics{}, err
 		}
-		if err := ev.TestModel(c, d); err != nil {
+		if err := ev.TestModel(probe, d); err != nil {
 			return Metrics{}, err
 		}
 		return classifyMetrics(ev), nil
@@ -114,25 +116,15 @@ func localClassify(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, e
 	if k > d.NumInstances() {
 		k = d.NumInstances()
 	}
-	folds, err := dataset.Folds(d, k, rand.New(rand.NewSource(seed)))
+	factory := func() classify.Classifier {
+		c, _ := classify.New(job.Algorithm)
+		_ = classify.Configure(c, job.Options)
+		return c
+	}
+	ev, err := classify.CrossValidateContext(ctx, factory, d, k, seed,
+		classify.Parallelism(l.Parallelism))
 	if err != nil {
 		return Metrics{}, err
-	}
-	for i := range folds {
-		if err := ctx.Err(); err != nil {
-			return Metrics{}, err
-		}
-		train, test := dataset.TrainTestForFold(d, folds, i)
-		c, err := build()
-		if err != nil {
-			return Metrics{}, err
-		}
-		if err := c.Train(train); err != nil {
-			return Metrics{}, fmt.Errorf("fold %d: %w", i, err)
-		}
-		if err := ev.TestModel(c, test); err != nil {
-			return Metrics{}, fmt.Errorf("fold %d: %w", i, err)
-		}
 	}
 	return classifyMetrics(ev), nil
 }
@@ -151,10 +143,7 @@ func localCluster(ctx context.Context, job Job, d *dataset.Dataset) (Metrics, er
 	if err := configureClusterer(c, job.Options); err != nil {
 		return Metrics{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
-	}
-	if err := c.Build(d); err != nil {
+	if err := cluster.BuildWith(ctx, c, d); err != nil {
 		return Metrics{}, err
 	}
 	assign, err := cluster.Assignments(c, d)

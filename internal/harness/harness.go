@@ -14,6 +14,7 @@ package harness
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -195,8 +196,23 @@ func (b *CachedBackend) Len() int {
 // instance for key (building it with build on first use), apply fn,
 // release. This is the repeated-invocation unit of the §4.5 experiment.
 func Invoke(b Backend, key string, build Builder, fn func(classify.Classifier) error) error {
+	return InvokeContext(context.Background(), b, key, build, fn)
+}
+
+// InvokeContext is Invoke with cooperative cancellation: the context is
+// checked before acquiring and before applying fn, so a caller whose
+// deadline has already passed never starts (or re-uses) a build. The
+// builder itself is expected to honour ctx when training is long-running
+// (see services.TrainBuilderContext).
+func InvokeContext(ctx context.Context, b Backend, key string, build Builder, fn func(classify.Classifier) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c, err := b.Acquire(key, build)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if err := fn(c); err != nil {

@@ -73,7 +73,7 @@ func NewClassifierService(backend harness.Backend) *Service {
 				In:   []string{"dataset", "classifier", "options", "attribute"},
 				Out:  []string{"model", "evaluation", "accuracy"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					c, d, err := trainFromParts(backend, parts)
+					c, d, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -92,12 +92,74 @@ func NewClassifierService(backend harness.Backend) *Service {
 				},
 			},
 			{
+				Name: "crossValidate",
+				Doc:  "Stratified k-fold cross-validation of the named classifier, with parallel folds.",
+				In:   []string{"dataset", "classifier", "options", "attribute", "folds", "seed", "parallelism"},
+				Out:  []string{"evaluation", "accuracy", "folds"},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					d, err := parseDataset(parts, "dataset")
+					if err != nil {
+						return nil, err
+					}
+					name, err := require(parts, "classifier")
+					if err != nil {
+						return nil, err
+					}
+					opts, err := parseOptions(parts, "options")
+					if err != nil {
+						return nil, err
+					}
+					if attr := strings.TrimSpace(parts["attribute"]); attr != "" {
+						if err := d.SetClassByName(attr); err != nil {
+							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+						}
+					}
+					folds, err := intPart(parts, "folds", 10)
+					if err != nil {
+						return nil, err
+					}
+					seed, err := intPart(parts, "seed", 1)
+					if err != nil {
+						return nil, err
+					}
+					par, err := intPart(parts, "parallelism", 0)
+					if err != nil {
+						return nil, err
+					}
+					// Validate algorithm and options once; the factory then
+					// re-applies them (deterministic after this check).
+					if probe, err := classify.New(name); err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					} else if err := classify.Configure(probe, opts); err != nil {
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					factory := func() classify.Classifier {
+						c, _ := classify.New(name)
+						_ = classify.Configure(c, opts)
+						return c
+					}
+					ev, err := classify.CrossValidateContext(ctx, factory, d, folds, int64(seed),
+						classify.Parallelism(par))
+					if err != nil {
+						if ctx.Err() != nil {
+							return nil, err // deadline faults are mapped by the server layer
+						}
+						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+					}
+					return map[string]string{
+						"evaluation": ev.String(),
+						"accuracy":   fmt.Sprintf("%.6f", ev.Accuracy()),
+						"folds":      fmt.Sprintf("%d", folds),
+					}, nil
+				},
+			},
+			{
 				Name: "classifyGraph",
 				Doc:  "Like classifyInstance but returns the decision tree as a DOT graph.",
 				In:   []string{"dataset", "classifier", "options", "attribute"},
 				Out:  []string{"graph"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					c, _, err := trainFromParts(backend, parts)
+					c, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -117,8 +179,9 @@ func NewClassifierService(backend harness.Backend) *Service {
 // trainFromParts resolves the four classifyInstance inputs (dataset,
 // classifier name, options, class attribute) and returns a trained
 // instance, going through the backend so instance state follows the
-// deployment's §4.5 strategy.
-func trainFromParts(backend harness.Backend, parts map[string]string) (classify.Classifier, *dataset.Dataset, error) {
+// deployment's §4.5 strategy. The caller's ctx (carrying any propagated
+// X-DM-Deadline) cancels in-flight training.
+func trainFromParts(ctx context.Context, backend harness.Backend, parts map[string]string) (classify.Classifier, *dataset.Dataset, error) {
 	d, err := parseDataset(parts, "dataset")
 	if err != nil {
 		return nil, nil, err
@@ -137,9 +200,9 @@ func trainFromParts(backend harness.Backend, parts map[string]string) (classify.
 		}
 	}
 	key := InstanceKey(name, opts, parts["dataset"], parts["attribute"])
-	build := TrainBuilder(name, opts, d)
+	build := TrainBuilderContext(ctx, name, opts, d)
 	var trained classify.Classifier
-	err = harness.Invoke(backend, key, build, func(c classify.Classifier) error {
+	err = harness.InvokeContext(ctx, backend, key, build, func(c classify.Classifier) error {
 		trained = c
 		return nil
 	})
@@ -158,7 +221,18 @@ func trainFromParts(backend harness.Backend, parts map[string]string) (classify.
 // TrainBuilder returns a harness.Builder that constructs, configures and
 // trains the named classifier on d. It is exported so the benchmark harness
 // can replay the exact per-invocation work of the service layer.
+//
+// Deprecated: use TrainBuilderContext so a caller's deadline can cancel
+// in-flight training. Kept one release as a shim.
 func TrainBuilder(name string, opts map[string]string, d *dataset.Dataset) harness.Builder {
+	return TrainBuilderContext(context.Background(), name, opts, d)
+}
+
+// TrainBuilderContext returns a harness.Builder that constructs,
+// configures and trains the named classifier on d under ctx: context-
+// aware learners (Bagging, RandomForest) stop member training promptly
+// when the caller's propagated deadline expires.
+func TrainBuilderContext(ctx context.Context, name string, opts map[string]string, d *dataset.Dataset) harness.Builder {
 	return func() (classify.Classifier, error) {
 		// An unknown algorithm or bad option is the caller's mistake: fault
 		// it as soap:Client so clients (e.g. the experiment engine's remote
@@ -170,7 +244,7 @@ func TrainBuilder(name string, opts map[string]string, d *dataset.Dataset) harne
 		if err := classify.Configure(c, opts); err != nil {
 			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
 		}
-		if err := c.Train(d); err != nil {
+		if err := classify.TrainWith(ctx, c, d); err != nil {
 			return nil, err
 		}
 		return c, nil

@@ -90,7 +90,7 @@ func NewClustererService() *Service {
 							}
 						}
 					}
-					if err := c.Build(d); err != nil {
+					if err := cluster.BuildWith(ctx, c, d); err != nil {
 						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
 					}
 					assign, err := cluster.Assignments(c, d)
@@ -132,7 +132,7 @@ func maxAssign(assign []int) int {
 //	getCobwebGraph(dataset, options) -> the concept hierarchy (indented text
 //	                                    plus DOT) for the tree plotter
 func NewCobwebService() *Service {
-	build := func(parts map[string]string) (*cluster.Cobweb, error) {
+	build := func(ctx context.Context, parts map[string]string) (*cluster.Cobweb, error) {
 		d, err := parseDataset(parts, "dataset")
 		if err != nil {
 			return nil, err
@@ -147,7 +147,7 @@ func NewCobwebService() *Service {
 				return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
 			}
 		}
-		if err := cw.Build(d); err != nil {
+		if err := cluster.BuildWith(ctx, cw, d); err != nil {
 			return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
 		}
 		return cw, nil
@@ -164,7 +164,7 @@ func NewCobwebService() *Service {
 				In:   []string{"dataset", "options"},
 				Out:  []string{"summary", "clusters"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					cw, err := build(parts)
+					cw, err := build(ctx, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -180,7 +180,7 @@ func NewCobwebService() *Service {
 				In:   []string{"dataset", "options"},
 				Out:  []string{"graph", "text"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					cw, err := build(parts)
+					cw, err := build(ctx, parts)
 					if err != nil {
 						return nil, err
 					}

@@ -16,14 +16,14 @@ import (
 //	classify(dataset, options, attribute)      -> textual decision tree
 //	classifyGraph(dataset, options, attribute) -> DOT decision tree
 func NewJ48Service(backend harness.Backend) *Service {
-	train := func(parts map[string]string) (*classify.J48, error) {
+	train := func(ctx context.Context, parts map[string]string) (*classify.J48, error) {
 		parts2 := map[string]string{
 			"dataset":    parts["dataset"],
 			"classifier": "J48",
 			"options":    parts["options"],
 			"attribute":  parts["attribute"],
 		}
-		c, _, err := trainFromParts(backend, parts2)
+		c, _, err := trainFromParts(ctx, backend, parts2)
 		if err != nil {
 			return nil, err
 		}
@@ -45,7 +45,7 @@ func NewJ48Service(backend harness.Backend) *Service {
 				In:   []string{"dataset", "options", "attribute"},
 				Out:  []string{"tree"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					j, err := train(parts)
+					j, err := train(ctx, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -58,7 +58,7 @@ func NewJ48Service(backend harness.Backend) *Service {
 				In:   []string{"dataset", "options", "attribute"},
 				Out:  []string{"graph"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					j, err := train(parts)
+					j, err := train(ctx, parts)
 					if err != nil {
 						return nil, err
 					}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/arff"
@@ -195,4 +196,19 @@ func optionsJSON(v any) (string, error) {
 		return "", fmt.Errorf("services: %w", err)
 	}
 	return string(b), nil
+}
+
+// intPart decodes an optional integer part, falling back to def when the
+// part is absent or blank.
+func intPart(parts map[string]string, name string, def int) (int, error) {
+	raw := strings.TrimSpace(parts[name])
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, &soap.Fault{Code: "soap:Client",
+			String: fmt.Sprintf("malformed %s part %q (integer expected)", name, raw)}
+	}
+	return n, nil
 }

@@ -53,7 +53,7 @@ func NewSessionService(backend harness.Backend) *Service {
 	}
 	// withModel acquires the session's live instance (rebuilding via the
 	// harness if it was evicted) and applies fn.
-	withModel := func(s *sessionInfo, fn func(classify.Classifier) error) error {
+	withModel := func(ctx context.Context, s *sessionInfo, fn func(classify.Classifier) error) error {
 		d, err := parseDataset(map[string]string{"dataset": s.arff}, "dataset")
 		if err != nil {
 			return err
@@ -63,7 +63,7 @@ func NewSessionService(backend harness.Backend) *Service {
 				return &soap.Fault{Code: "soap:Server", String: err.Error()}
 			}
 		}
-		return harness.Invoke(backend, s.key, TrainBuilder(s.name, s.opts, d), fn)
+		return harness.InvokeContext(ctx, backend, s.key, TrainBuilderContext(ctx, s.name, s.opts, d), fn)
 	}
 	return Register(ServiceDesc{
 		Name:     "Session",
@@ -78,7 +78,7 @@ func NewSessionService(backend harness.Backend) *Service {
 				Out:  []string{"session", "algorithm"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					// Validate by training once through the shared path.
-					c, _, err := trainFromParts(backend, parts)
+					c, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -120,7 +120,7 @@ func NewSessionService(backend harness.Backend) *Service {
 						}
 					}
 					var labels []string
-					err = withModel(s, func(c classify.Classifier) error {
+					err = withModel(ctx, s, func(c classify.Classifier) error {
 						out, err := classify.Label(c, unlabelled)
 						labels = out
 						return err
@@ -154,7 +154,7 @@ func NewSessionService(backend harness.Backend) *Service {
 						}
 					}
 					out := map[string]string{}
-					err = withModel(s, func(c classify.Classifier) error {
+					err = withModel(ctx, s, func(c classify.Classifier) error {
 						ev, err := classify.NewEvaluation(test)
 						if err != nil {
 							return err
@@ -186,7 +186,7 @@ func NewSessionService(backend harness.Backend) *Service {
 						return nil, err
 					}
 					out := map[string]string{}
-					err = withModel(s, func(c classify.Classifier) error {
+					err = withModel(ctx, s, func(c classify.Classifier) error {
 						out["model"] = modelText(c)
 						return nil
 					})

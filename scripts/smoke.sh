@@ -1,5 +1,5 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke in three phases. Phase 1 covers the
+# scripts/smoke.sh — end-to-end smoke in four phases. Phase 1 covers the
 # observability layer: start a real dmserver, probe /healthz and /metrics,
 # then run a small dmexp batch against the registry and check that ONE
 # trace ID crosses the client log, the server log and the journal.
@@ -9,7 +9,10 @@
 # failover visible in the client metrics. Phase 3 covers admission
 # control: flood one dmserver at many times its -max-inflight, assert the
 # overflow is shed as ServerBusy, the batch still completes via retries,
-# the in-flight bound held, and SIGINT drains gracefully. Run from the
+# the in-flight bound held, and SIGINT drains gracefully. Phase 4 covers
+# the parallel kernels: a crossValidate call with parallelism=4 against
+# the live phase-1 dmserver must finish under the client's propagated
+# deadline and leave the kernel_ms metric on /metrics. Run from the
 # repo root.
 set -eu
 
@@ -281,4 +284,44 @@ wait "$FLOOD_PID" 2>/dev/null || true
 FLOOD_PID=""
 
 echo "smoke: phase 3 ok (flood=$FLOOD, peak=$peak, sheds confirmed)"
+
+# ---------------------------------------------------------------------------
+# Phase 4: parallel cross-validation over live SOAP. The Classifier
+# service's crossValidate operation fans folds across workers; the call
+# runs under dmclient's 30s timeout (propagated to the server as
+# X-DM-Deadline, which cancels in-flight training if it expires), must
+# report a sane accuracy, and must leave the parallel-kernel metrics on
+# the server's /metrics endpoint.
+go build -o "$WORK/dmclient" ./cmd/dmclient
+go build -o "$WORK/dminfo" ./cmd/dminfo
+"$WORK/dminfo" -embedded breast-cancer -arff >"$WORK/breast.arff"
+
+"$WORK/dmclient" -url "$BASE/services/Classifier" -op crossValidate \
+	-timeout 30s -file "dataset=$WORK/breast.arff" \
+	-part classifier=J48 -part attribute=Class \
+	-part folds=5 -part parallelism=4 >"$WORK/cv.out" 2>"$WORK/cv.err" || {
+	echo "smoke: parallel crossValidate failed under the 30s deadline" >&2
+	cat "$WORK/cv.out" "$WORK/cv.err" >&2
+	exit 1
+}
+acc=$(sed -n '/^=== accuracy ===$/{n;p;}' "$WORK/cv.out")
+case "$acc" in
+0.[0-9]* | 1.0*) ;;
+*)
+	echo "smoke: crossValidate returned accuracy '$acc'" >&2
+	cat "$WORK/cv.out" >&2
+	exit 1
+	;;
+esac
+
+curl -fsS "$BASE/metrics" >"$WORK/cv-metrics.json"
+for want in "kernel_ms{kernel=crossvalidate}" "kernel_runs_total{kernel=crossvalidate}"; do
+	if ! grep -qF "\"$want\"" "$WORK/cv-metrics.json"; then
+		echo "smoke: no $want metric after the parallel crossValidate" >&2
+		cat "$WORK/cv-metrics.json" >&2
+		exit 1
+	fi
+done
+
+echo "smoke: phase 4 ok (accuracy=$acc, parallel fold kernel observed)"
 echo "smoke: ok"

@@ -30,4 +30,10 @@ fi
 go test ./...
 go test -race ./...
 
+# The parallel kernels get a dedicated -race pass: the determinism and
+# cancellation tests must hold when the fold/member/assignment fan-out
+# actually interleaves.
+go test -race -run 'Parallel|ForEach|Cancellation' \
+	./internal/parallel/ ./internal/classify/ ./internal/cluster/ ./internal/attrsel/
+
 ./scripts/smoke.sh

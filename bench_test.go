@@ -362,7 +362,7 @@ func BenchmarkCrossValidation(b *testing.B) {
 	d := datagen.BreastCancer()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev, err := classify.CrossValidate(func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
+		ev, err := classify.CrossValidateContext(context.Background(), func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

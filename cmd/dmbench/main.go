@@ -30,6 +30,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/soap"
+	"repro/internal/store"
 	"repro/internal/workflow"
 )
 
@@ -58,7 +59,8 @@ func main() {
 	if err := j.Train(d); err != nil {
 		log.Fatal(err)
 	}
-	cv, err := classify.CrossValidate(func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
+	cv, err := classify.CrossValidateContext(context.Background(),
+		func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,6 +173,18 @@ func main() {
 	report("—", "Parallel kernels (internal/parallel)",
 		"fold/member/assignment fan-out scales with cores; results bit-identical at any worker count",
 		fmt.Sprintf("GOMAXPROCS=%d: %s", pr.GoMaxProcs, strings.Join(lines, "; ")))
+
+	// Model store: snapshot codec throughput and warm resume vs cold retrain.
+	pr.Store = storeExperiment()
+	var storeLines []string
+	for _, r := range pr.Store {
+		storeLines = append(storeLines, fmt.Sprintf(
+			"%s %.0f KB snapshot, encode %.0f/decode %.0f MB/s, cold %.1f ms vs warm %.2f ms (%.0fx)",
+			r.Algorithm, r.SnapshotKB, r.EncodeMBs, r.DecodeMBs, r.ColdTrainMs, r.WarmResumeMs, r.Speedup))
+	}
+	report("—", "Model store (internal/store)",
+		"resume-from-snapshot must beat retraining for the store to pay for itself",
+		strings.Join(storeLines, "; "))
 	if *parallelOut != "" {
 		raw, err := json.MarshalIndent(pr, "", "  ")
 		if err != nil {
@@ -197,11 +211,25 @@ type kernelResult struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// storeResult is one row of the model-store report: the cost of writing
+// and restoring a trained snapshot vs training it again from scratch.
+type storeResult struct {
+	Algorithm    string  `json:"algorithm"`
+	Work         string  `json:"work"`
+	SnapshotKB   float64 `json:"snapshotKB"`
+	EncodeMBs    float64 `json:"encodeMBs"`
+	DecodeMBs    float64 `json:"decodeMBs"`
+	ColdTrainMs  float64 `json:"coldTrainMs"`
+	WarmResumeMs float64 `json:"warmResumeMs"`
+	Speedup      float64 `json:"speedup"`
+}
+
 // parallelReport is the BENCH_parallel.json document.
 type parallelReport struct {
 	GoMaxProcs int            `json:"goMaxProcs"`
 	Note       string         `json:"note"`
 	Kernels    []kernelResult `json:"kernels"`
+	Store      []storeResult  `json:"store,omitempty"`
 }
 
 // parallelExperiment times the three headline kernels (cross-validation
@@ -253,6 +281,95 @@ func parallelExperiment() parallelReport {
 				}
 			}),
 		},
+	}
+}
+
+// storeExperiment measures the model store's economics per algorithm:
+// gob encode/decode throughput for a trained snapshot, and the wall-clock
+// of a warm resume (store Get + decode) against a cold retrain — the
+// latency a failed-over replica saves on the first call of a resumed
+// session.
+func storeExperiment() []storeResult {
+	dir, err := os.MkdirTemp("", "dmbench-store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	trainData := datagen.RandomNominal(2000, 12, 4, 0.2, 23)
+	const runs = 5
+	row := func(name, work string, train func() classify.Classifier) storeResult {
+		began := time.Now()
+		var c classify.Classifier
+		for i := 0; i < runs; i++ {
+			c = train()
+		}
+		coldMs := float64(time.Since(began).Microseconds()) / 1e3 / runs
+
+		blob, err := model.Marshal(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		began = time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := model.Marshal(c); err != nil {
+				log.Fatal(err)
+			}
+		}
+		encSec := time.Since(began).Seconds() / runs
+
+		key := store.Key(name, nil, dataset.Digest(trainData), "")
+		if err := st.Put(key, store.Meta{Algorithm: name, Kind: "classifier"}, blob); err != nil {
+			log.Fatal(err)
+		}
+		began = time.Now()
+		for i := 0; i < runs; i++ {
+			got, _, err := st.Get(key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := model.Unmarshal(got); err != nil {
+				log.Fatal(err)
+			}
+		}
+		warmMs := float64(time.Since(began).Microseconds()) / 1e3 / runs
+		decSec := warmMs / 1e3 // Get is dwarfed by the decode; close enough for MB/s
+
+		mb := float64(len(blob)) / (1 << 20)
+		return storeResult{
+			Algorithm:    name,
+			Work:         work,
+			SnapshotKB:   float64(len(blob)) / 1024,
+			EncodeMBs:    mb / encSec,
+			DecodeMBs:    mb / decSec,
+			ColdTrainMs:  coldMs,
+			WarmResumeMs: warmMs,
+			Speedup:      coldMs / warmMs,
+		}
+	}
+	return []storeResult{
+		row("J48", "2000x12 nominal", func() classify.Classifier {
+			j := classify.NewJ48()
+			if err := j.Train(trainData); err != nil {
+				log.Fatal(err)
+			}
+			return j
+		}),
+		row("RandomForest", "20 trees over 2000x12 nominal", func() classify.Classifier {
+			f, err := classify.New("RandomForest")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Train(trainData); err != nil {
+				log.Fatal(err)
+			}
+			return f
+		}),
 	}
 }
 

@@ -12,6 +12,7 @@
 //	dminfo -embedded breast-cancer
 //	dminfo -embedded weather -arff
 //	dminfo -list
+//	dminfo -store /var/lib/dmserver/models
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/arff"
 	"repro/internal/attrsel"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/csvconv"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/store"
 )
 
 func main() {
@@ -35,7 +38,26 @@ func main() {
 	embedded := flag.String("embedded", "", "print an embedded dataset: breast-cancer, weather, weather-numeric, contact-lenses")
 	list := flag.Bool("list", false, "list registered classifiers, clusterers and attribute-selection approaches")
 	asARFF := flag.Bool("arff", false, "dump the dataset as an ARFF document instead of the statistics block")
+	storeDir := flag.String("store", "", "list the snapshots of a content-addressed model store directory")
 	flag.Parse()
+
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("dminfo: %v", err)
+		}
+		defer s.Close()
+		entries := s.List()
+		fmt.Printf("Model store %s: %d snapshot(s), %d byte(s)\n", s.Dir(), len(entries), s.Bytes())
+		for _, e := range entries {
+			created := "-"
+			if e.Meta.Created > 0 {
+				created = time.Unix(e.Meta.Created, 0).UTC().Format(time.RFC3339)
+			}
+			fmt.Printf("  %s  %-22s %-10s %8d B  %s\n", e.Key, e.Meta.Algorithm, e.Meta.Kind, e.Size, created)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("Classifiers:")

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmserver [-addr 127.0.0.1:8334] [-backend cached|serialising] [-cache 64] [-store DIR]
+//	         [-store-dir DIR]
 //	         [-publish URL] [-heartbeat 5s] [-ttl 15s]
 //	         [-max-inflight 64] [-queue 128] [-drain-grace 10s]
 //	         [-chaos 'fault=0.3;op=classifyInstance,latency=200ms'] [-chaos-seed 1] [-chaos-header]
@@ -33,6 +34,7 @@ func main() {
 		"instance management strategy: cached (the §4.5 harness) or serialising (naive per-call round trip)")
 	cacheSize := flag.Int("cache", 64, "instance pool bound for the cached backend")
 	storeDir := flag.String("store", "", "model store directory (default: a temp dir; required meaningfully for -backend serialising)")
+	durableDir := flag.String("store-dir", "", "content-addressed model store directory for the cached backend; share it between replicas to make session tokens resumable on any of them")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	publishURL := flag.String("publish", "", "external registry base URL to publish this host's services to (e.g. http://127.0.0.1:8335)")
 	heartbeat := flag.Duration("heartbeat", 0, "re-publish services at this interval (0 = publish once at startup)")
@@ -77,6 +79,12 @@ func main() {
 		core.WithAdmission(*maxInFlight, *queueDepth),
 		core.WithDrainGrace(*drainGrace),
 	}
+	if *durableDir != "" {
+		if *backendKind != "cached" {
+			log.Fatalf("dmserver: -store-dir requires -backend cached")
+		}
+		opts = append(opts, core.WithModelStore(*durableDir))
+	}
 	if *chaosRules != "" {
 		rules, err := chaos.ParseRules(*chaosRules)
 		if err != nil {
@@ -106,6 +114,9 @@ func main() {
 		log.Fatalf("dmserver: %v", err)
 	}
 	fmt.Printf("dmserver listening on %s (backend: %s)\n", d.BaseURL, *backendKind)
+	if *durableDir != "" {
+		fmt.Printf("model store: %s\n", *durableDir)
+	}
 	if *publishURL != "" {
 		fmt.Printf("publishing services to %s\n", *publishURL)
 	}

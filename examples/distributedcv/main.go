@@ -41,7 +41,7 @@ func main() {
 
 	d := datagen.BreastCancer()
 	const k = 6
-	folds, err := dataset.Folds(d, k, rand.New(rand.NewSource(3)))
+	folds, err := dataset.FoldsView(d, k, rand.New(rand.NewSource(3)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func main() {
 
 	g := workflow.NewGraph("distributed-cv")
 	for i := 0; i < k; i++ {
-		train, _ := dataset.TrainTestForFold(d, folds, i)
+		train, _ := dataset.TrainTestViewForFold(d, folds, i)
 		node := nodes[i%len(nodes)]
 		task := g.MustAdd(fmt.Sprintf("fold%d", i), unitFor(node))
 		// Every other node is an alternate: jobs on the dead node migrate.
@@ -67,7 +67,7 @@ func main() {
 				task.Alternates = append(task.Alternates, unitFor(nodes[j]))
 			}
 		}
-		task.Params["dataset"] = arff.Format(train.Clone())
+		task.Params["dataset"] = arff.Format(train.Materialize())
 		task.Params["classifier"] = "J48"
 		task.Params["attribute"] = "Class"
 	}
@@ -96,7 +96,7 @@ func main() {
 
 	// Local verification pass (the Grid-WEKA "cross-validation" task run
 	// with the library directly, pooling held-out folds).
-	ev, err := classify.CrossValidate(
+	ev, err := classify.CrossValidateContext(context.Background(),
 		func() classify.Classifier { return classify.NewJ48() }, d, k, 3)
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,8 @@ func main() {
 	fmt.Print(viz.TreeDOT(j.Tree()))
 
 	// Verify the discovered knowledge (§3's testing requirement).
-	ev, err := classify.CrossValidate(func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
+	ev, err := classify.CrossValidateContext(context.Background(),
+		func() classify.Classifier { return classify.NewJ48() }, d, 10, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

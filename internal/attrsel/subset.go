@@ -1,6 +1,7 @@
 package attrsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -153,7 +154,8 @@ func (e *Wrapper) EvaluateSubset(cols []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ev, err := classify.CrossValidate(e.Factory, proj, e.Folds, e.Seed+1)
+	ev, err := classify.CrossValidateContext(context.Background(), e.Factory, proj, e.Folds, e.Seed+1,
+		classify.Parallelism(1))
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -306,7 +307,7 @@ func TestRandomTreeAndForest(t *testing.T) {
 
 func TestBaggingImprovesOverSingleTree(t *testing.T) {
 	d := datagen.RandomNominal(300, 8, 3, 0.25, 43)
-	cvTree, err := CrossValidate(func() Classifier {
+	cvTree, err := CrossValidateContext(context.Background(), func() Classifier {
 		j := NewJ48()
 		j.Unpruned = true
 		return j
@@ -314,7 +315,7 @@ func TestBaggingImprovesOverSingleTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cvBag, err := CrossValidate(func() Classifier {
+	cvBag, err := CrossValidateContext(context.Background(), func() Classifier {
 		return &Bagging{Size: 15, Seed: 1}
 	}, d, 5, 1)
 	if err != nil {
@@ -328,11 +329,11 @@ func TestBaggingImprovesOverSingleTree(t *testing.T) {
 
 func TestAdaBoostBeatsStump(t *testing.T) {
 	d := datagen.BreastCancer()
-	stumpCV, err := CrossValidate(func() Classifier { return &DecisionStump{} }, d, 5, 2)
+	stumpCV, err := CrossValidateContext(context.Background(), func() Classifier { return &DecisionStump{} }, d, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	boostCV, err := CrossValidate(func() Classifier { return &AdaBoostM1{Rounds: 15, Seed: 2} }, d, 5, 2)
+	boostCV, err := CrossValidateContext(context.Background(), func() Classifier { return &AdaBoostM1{Rounds: 15, Seed: 2} }, d, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -283,16 +283,6 @@ func testFold(emit func(actual, predicted int, weight float64), c Classifier, te
 	return nil
 }
 
-// CrossValidate runs stratified k-fold cross-validation sequentially.
-//
-// Deprecated: use CrossValidateContext, which adds cancellation and
-// parallel folds. This shim (kept one release, like the PR 2 soap.Client
-// Call shim) forces Parallelism(1), preserving the exact behaviour and
-// allocation profile of the original signature.
-func CrossValidate(factory Factory, d *dataset.Dataset, k int, seed int64) (*Evaluation, error) {
-	return CrossValidateContext(context.Background(), factory, d, k, seed, Parallelism(1))
-}
-
 // Label predicts a class name for every instance of unlabelled (its class
 // cells may be missing) using a previously built classifier — the Grid-WEKA
 // "labelling of test data using a previously built classifier" task.

@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -75,7 +76,7 @@ func TestEvaluationString(t *testing.T) {
 
 func TestCrossValidatePoolsAllInstances(t *testing.T) {
 	d := datagen.BreastCancer()
-	ev, err := CrossValidate(func() Classifier { return NewJ48() }, d, 10, 1)
+	ev, err := CrossValidateContext(context.Background(), func() Classifier { return NewJ48() }, d, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ func TestCrossValidatePoolsAllInstances(t *testing.T) {
 
 func TestCrossValidateDeterministic(t *testing.T) {
 	d := datagen.Weather()
-	a, err := CrossValidate(func() Classifier { return &NaiveBayes{} }, d, 7, 9)
+	a, err := CrossValidateContext(context.Background(), func() Classifier { return &NaiveBayes{} }, d, 7, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CrossValidate(func() Classifier { return &NaiveBayes{} }, d, 7, 9)
+	b, err := CrossValidateContext(context.Background(), func() Classifier { return &NaiveBayes{} }, d, 7, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

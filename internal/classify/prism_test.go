@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestPrismRejectsNumeric(t *testing.T) {
 
 func TestPrismBreastCancerBeatsBaseline(t *testing.T) {
 	d := datagen.BreastCancer()
-	ev, err := CrossValidate(func() Classifier { return &Prism{} }, d, 5, 3)
+	ev, err := CrossValidateContext(context.Background(), func() Classifier { return &Prism{} }, d, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

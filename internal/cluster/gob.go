@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Gob mirrors for the iterative fitters whose trained state is worth
+// persisting in the model store: SimpleKMeans and EM re-fit in seconds on
+// toy data but in minutes at production scale, so their snapshots are the
+// clusterer half of the store's "persist the expensive artifact, make the
+// worker disposable" design. A restored clusterer assigns; it does not
+// resume fitting.
+
+type kmeansWire struct {
+	K           int
+	MaxIter     int
+	Seed        int64
+	Parallelism int
+	Cols        []int
+	Centroids   [][]float64
+	Iters       int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (km *KMeans) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(kmeansWire{
+		K: km.K, MaxIter: km.MaxIter, Seed: km.Seed, Parallelism: km.Parallelism,
+		Cols: km.cols, Centroids: km.Centroids, Iters: km.iters,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (km *KMeans) GobDecode(b []byte) error {
+	var w kmeansWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	km.K, km.MaxIter, km.Seed, km.Parallelism = w.K, w.MaxIter, w.Seed, w.Parallelism
+	km.cols, km.Centroids, km.iters = w.Cols, w.Centroids, w.Iters
+	return nil
+}
+
+type emWire struct {
+	K           int
+	MaxIter     int
+	Seed        int64
+	Tol         float64
+	Parallelism int
+	Cols        []int
+	Weights     []float64
+	Means       [][]float64
+	Vars        [][]float64
+	LogLik      float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (em *EM) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(emWire{
+		K: em.K, MaxIter: em.MaxIter, Seed: em.Seed, Tol: em.Tol, Parallelism: em.Parallelism,
+		Cols: em.cols, Weights: em.weights, Means: em.means, Vars: em.vars, LogLik: em.logLik,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (em *EM) GobDecode(b []byte) error {
+	var w emWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	em.K, em.MaxIter, em.Seed, em.Tol, em.Parallelism = w.K, w.MaxIter, w.Seed, w.Tol, w.Parallelism
+	em.cols, em.weights, em.means, em.vars, em.logLik = w.Cols, w.Weights, w.Means, w.Vars, w.LogLik
+	return nil
+}

@@ -293,7 +293,7 @@ func TestDistributedTasks(t *testing.T) {
 		t.Fatalf("shipped-model accuracy = %v", ev.Accuracy())
 	}
 	// Task: cross-validation.
-	cv, err := classify.CrossValidate(func() classify.Classifier { return classify.NewJ48() }, full, 10, 1)
+	cv, err := classify.CrossValidateContext(context.Background(), func() classify.Classifier { return classify.NewJ48() }, full, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

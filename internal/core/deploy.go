@@ -18,6 +18,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/resilience"
 	"repro/internal/services"
+	"repro/internal/store"
 	"repro/internal/workflow"
 )
 
@@ -34,6 +35,7 @@ type Deployment struct {
 
 	svcNames   []string
 	entries    []registry.Entry
+	modelStore *store.Store
 	server     *http.Server
 	ln         net.Listener
 	adm        *admission.Controller
@@ -53,6 +55,7 @@ type deployConfig struct {
 	externalReg string
 	admission   admission.Config
 	drainGrace  time.Duration
+	storeDir    string
 }
 
 // Option configures a Deployment.
@@ -99,6 +102,17 @@ func WithDrainGrace(d time.Duration) Option {
 	return func(c *deployConfig) { c.drainGrace = d }
 }
 
+// WithModelStore opens (or creates) a content-addressed model store in dir
+// and wires it under the deployment's harness as the durable snapshot
+// tier: freshly trained models are persisted, and a memory miss restores
+// from disk instead of retraining. Point several dmservers at the same
+// directory and session tokens become resumable on any of them — the
+// store is the replicas' shared model memory. Requires a CachedBackend
+// (the default); other backends ignore the store.
+func WithModelStore(dir string) Option {
+	return func(c *deployConfig) { c.storeDir = dir }
+}
+
 // Deploy starts all toolkit services on addr (use "127.0.0.1:0" for an
 // ephemeral port). backend selects the §4.5 instance-management strategy;
 // nil defaults to the paper's in-memory harness.
@@ -110,8 +124,24 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 	if backend == nil {
 		backend = harness.NewCachedBackend(64)
 	}
+	var modelStore *store.Store
+	if cfg.storeDir != "" {
+		cached, ok := backend.(*harness.CachedBackend)
+		if !ok {
+			return nil, fmt.Errorf("core: WithModelStore needs a *harness.CachedBackend, got %T", backend)
+		}
+		s, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening model store: %w", err)
+		}
+		cached.Durable = s
+		modelStore = s
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if modelStore != nil {
+			modelStore.Close()
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	baseURL := "http://" + ln.Addr().String()
@@ -169,7 +199,7 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 		drainGrace = 10 * time.Second
 	}
 	d := &Deployment{BaseURL: baseURL, Registry: reg, Backend: backend, ln: ln,
-		adm: adm, drainGrace: drainGrace}
+		modelStore: modelStore, adm: adm, drainGrace: drainGrace}
 	if cfg.externalReg != "" {
 		d.extClient = &registry.Client{BaseURL: cfg.externalReg, Policy: &resilience.Policy{}}
 	}
@@ -267,6 +297,11 @@ func (d *Deployment) RegistryURL() string { return d.BaseURL + "/registry" }
 // in-flight count) for probes and tests.
 func (d *Deployment) Admission() *admission.Controller { return d.adm }
 
+// ModelStore exposes the deployment's durable snapshot store (nil unless
+// WithModelStore was given) for inspection and the failover drill's
+// per-replica hit assertions.
+func (d *Deployment) ModelStore() *store.Store { return d.modelStore }
+
 // Close shuts the deployment down gracefully, in the order that keeps
 // clients from ever dialling a dead endpoint: stop heartbeating and
 // withdraw the registry entries first (so pools refreshing from a
@@ -298,6 +333,11 @@ func (d *Deployment) Close() error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		d.stopErr = d.server.Shutdown(shutCtx)
+		if d.modelStore != nil {
+			if err := d.modelStore.Close(); err != nil && d.stopErr == nil {
+				d.stopErr = err
+			}
+		}
 	})
 	return d.stopErr
 }

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Digest returns a canonical content digest of the dataset: relation name,
+// schema (attribute names, kinds, nominal value sets), designated class
+// index, and every cell value and instance weight. Two datasets with the
+// same logical content share a digest regardless of how their ARFF text
+// was formatted; two datasets differing in any cell never do. It is the
+// dataset component of the model store's content-addressed key (a trained
+// model is a pure function of algorithm + options + training data).
+func Digest(d *Dataset) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeF64 := func(f float64) {
+		// NaN (the missing marker) has many bit patterns; canonicalise.
+		if math.IsNaN(f) {
+			f = math.NaN()
+		}
+		writeU64(math.Float64bits(f))
+	}
+	writeStr(d.Relation)
+	writeU64(uint64(len(d.Attrs)))
+	for _, a := range d.Attrs {
+		writeStr(a.Name)
+		writeU64(uint64(a.Kind))
+		writeU64(uint64(a.NumValues()))
+		for i := 0; i < a.NumValues(); i++ {
+			writeStr(a.Value(i))
+		}
+	}
+	writeU64(uint64(uint32(d.ClassIndex)))
+	writeU64(uint64(len(d.Instances)))
+	for _, in := range d.Instances {
+		writeU64(uint64(len(in.Values)))
+		for _, v := range in.Values {
+			writeF64(v)
+		}
+		writeF64(in.Weight)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -63,55 +63,6 @@ func StratifiedSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, test
 	return d.ShallowWith(trIns), d.ShallowWith(teIns), nil
 }
 
-// Folds returns k cross-validation folds: folds[i] is the held-out test share
-// of fold i, and the corresponding training share is every other fold. When
-// the class attribute is nominal the folds are stratified.
-//
-// Deprecated: use FoldsView, which returns zero-copy views instead of
-// instance-slice copies. Folds consumes rng identically to FoldsView, so
-// both produce the same fold membership for a given seed. Kept one
-// release as a shim.
-func Folds(d *Dataset, k int, rng *rand.Rand) ([][]*Instance, error) {
-	views, err := FoldsView(d, k, rng)
-	if err != nil {
-		return nil, err
-	}
-	folds := make([][]*Instance, k)
-	for i, v := range views {
-		folds[i] = v.Materialize().Instances
-	}
-	return folds, nil
-}
-
-// TrainTestForFold assembles the train/test datasets for fold i of folds.
-//
-// Deprecated: use TrainTestViewForFold with FoldsView. Kept one release
-// as a shim.
-func TrainTestForFold(d *Dataset, folds [][]*Instance, i int) (train, test *Dataset) {
-	n := 0
-	for j, f := range folds {
-		if j != i {
-			n += len(f)
-		}
-	}
-	trIns := make([]*Instance, 0, n)
-	for j, f := range folds {
-		if j != i {
-			trIns = append(trIns, f...)
-		}
-	}
-	return d.ShallowWith(trIns), d.ShallowWith(folds[i])
-}
-
-// Resample returns a bootstrap sample of d with n instances drawn with
-// replacement using rng (bagging substrate).
-//
-// Deprecated: use ResampleView, which returns a zero-copy view and
-// consumes rng identically. Kept one release as a shim.
-func Resample(d *Dataset, n int, rng *rand.Rand) *Dataset {
-	return ResampleView(d, n, rng).Materialize()
-}
-
 // WeightedResample draws n instances with replacement with probability
 // proportional to instance weight; the drawn copies have unit weight
 // (boosting substrate).

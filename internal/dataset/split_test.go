@@ -57,20 +57,20 @@ func TestStratifiedSplitPreservesDistribution(t *testing.T) {
 
 func TestFoldsStratifiedAndComplete(t *testing.T) {
 	d := twoClassSet(t, 100)
-	folds, err := Folds(d, 10, rand.New(rand.NewSource(3)))
+	folds, err := FoldsView(d, 10, rand.New(rand.NewSource(3)))
 	if err != nil {
-		t.Fatalf("Folds: %v", err)
+		t.Fatalf("FoldsView: %v", err)
 	}
 	total := 0
 	for i, f := range folds {
-		total += len(f)
-		if len(f) != 10 {
-			t.Fatalf("fold %d has %d instances", i, len(f))
+		total += f.NumInstances()
+		if f.NumInstances() != 10 {
+			t.Fatalf("fold %d has %d instances", i, f.NumInstances())
 		}
 		// Stratification: each fold should hold 5 of each class.
 		var c0 int
-		for _, in := range f {
-			if in.Values[2] == 0 {
+		for j := 0; j < f.NumInstances(); j++ {
+			if f.Instance(j).Values[2] == 0 {
 				c0++
 			}
 		}
@@ -81,14 +81,14 @@ func TestFoldsStratifiedAndComplete(t *testing.T) {
 	if total != 100 {
 		t.Fatalf("folds cover %d instances", total)
 	}
-	train, test := TrainTestForFold(d, folds, 0)
+	train, test := TrainTestViewForFold(d, folds, 0)
 	if train.NumInstances() != 90 || test.NumInstances() != 10 {
 		t.Fatalf("fold-0 shares: %d/%d", train.NumInstances(), test.NumInstances())
 	}
-	if _, err := Folds(d, 1, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := FoldsView(d, 1, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("k=1 accepted")
 	}
-	if _, err := Folds(d, 101, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := FoldsView(d, 101, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("k > n accepted")
 	}
 }
@@ -103,15 +103,16 @@ func TestFoldsProperty(t *testing.T) {
 		for i := 0; i < n; i++ {
 			d.MustAdd(NewInstance([]float64{float64(i), float64(i % 2)}))
 		}
-		folds, err := Folds(d, k, rand.New(rand.NewSource(int64(n*k))))
+		folds, err := FoldsView(d, k, rand.New(rand.NewSource(int64(n*k))))
 		if err != nil {
 			return false
 		}
 		seen := map[*Instance]bool{}
 		total := 0
 		for _, f := range folds {
-			total += len(f)
-			for _, in := range f {
+			total += f.NumInstances()
+			for j := 0; j < f.NumInstances(); j++ {
+				in := f.Instance(j)
 				if seen[in] {
 					return false
 				}
@@ -127,9 +128,9 @@ func TestFoldsProperty(t *testing.T) {
 
 func TestResample(t *testing.T) {
 	d := twoClassSet(t, 10)
-	r := Resample(d, 25, rand.New(rand.NewSource(4)))
+	r := ResampleView(d, 25, rand.New(rand.NewSource(4)))
 	if r.NumInstances() != 25 {
-		t.Fatalf("Resample size = %d", r.NumInstances())
+		t.Fatalf("ResampleView size = %d", r.NumInstances())
 	}
 }
 

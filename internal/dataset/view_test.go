@@ -58,32 +58,37 @@ func TestAllCoversDataset(t *testing.T) {
 	}
 }
 
-// FoldsView must consume rng identically to the deprecated Folds so the
-// two APIs agree on fold membership for a given seed.
-func TestFoldsViewMatchesFolds(t *testing.T) {
+// FoldsView is seed-deterministic: the same rng seed must reproduce the
+// same fold membership, and the folds partition the dataset exactly.
+func TestFoldsViewDeterministicPartition(t *testing.T) {
 	d := viewTestDataset(31)
 	views, err := FoldsView(d, 5, rand.New(rand.NewSource(42)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	folds, err := Folds(d, 5, rand.New(rand.NewSource(42)))
+	again, err := FoldsView(d, 5, rand.New(rand.NewSource(42)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(views) != len(folds) {
-		t.Fatalf("%d views vs %d folds", len(views), len(folds))
+	if len(views) != len(again) {
+		t.Fatalf("%d vs %d folds across runs", len(views), len(again))
 	}
 	total := 0
+	seen := map[*Instance]bool{}
 	for i := range views {
-		if views[i].NumInstances() != len(folds[i]) {
-			t.Fatalf("fold %d: %d vs %d instances", i, views[i].NumInstances(), len(folds[i]))
+		if views[i].NumInstances() != again[i].NumInstances() {
+			t.Fatalf("fold %d size differs across same-seed runs", i)
 		}
-		for j := range folds[i] {
-			if views[i].Instance(j) != folds[i][j] {
-				t.Fatalf("fold %d row %d differs between APIs", i, j)
+		for j := 0; j < views[i].NumInstances(); j++ {
+			if views[i].Instance(j) != again[i].Instance(j) {
+				t.Fatalf("fold %d row %d differs across same-seed runs", i, j)
 			}
+			if seen[views[i].Instance(j)] {
+				t.Fatalf("fold %d row %d appears in two folds", i, j)
+			}
+			seen[views[i].Instance(j)] = true
 		}
-		total += len(folds[i])
+		total += views[i].NumInstances()
 	}
 	if total != d.NumInstances() {
 		t.Fatalf("folds cover %d of %d instances", total, d.NumInstances())
@@ -117,16 +122,16 @@ func TestTrainTestViewForFold(t *testing.T) {
 	}
 }
 
-func TestResampleViewMatchesResample(t *testing.T) {
+func TestResampleViewDeterministic(t *testing.T) {
 	d := viewTestDataset(15)
 	v := ResampleView(d, 30, rand.New(rand.NewSource(3)))
-	old := Resample(d, 30, rand.New(rand.NewSource(3)))
-	if v.NumInstances() != 30 || len(old.Instances) != 30 {
+	again := ResampleView(d, 30, rand.New(rand.NewSource(3)))
+	if v.NumInstances() != 30 || again.NumInstances() != 30 {
 		t.Fatal("wrong sample size")
 	}
-	for i := range old.Instances {
-		if v.Instance(i) != old.Instances[i] {
-			t.Fatalf("draw %d differs between APIs", i)
+	for i := 0; i < v.NumInstances(); i++ {
+		if v.Instance(i) != again.Instance(i) {
+			t.Fatalf("draw %d differs across same-seed runs", i)
 		}
 	}
 }

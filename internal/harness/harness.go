@@ -17,10 +17,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Builder constructs (typically: trains) a fresh algorithm instance. It is
@@ -46,8 +48,9 @@ type Backend interface {
 type SerialisingBackend struct {
 	Store *model.Store
 
-	mu    sync.Mutex
-	calls int64
+	mu     sync.Mutex
+	calls  int64
+	builds int64
 }
 
 // Acquire implements Backend.
@@ -62,10 +65,19 @@ func (b *SerialisingBackend) Acquire(key string, build Builder) (classify.Classi
 	if err != nil {
 		return nil, fmt.Errorf("harness: building instance %q: %w", key, err)
 	}
+	b.builds++
+	obs.Default.Counter("harness_builds_total").Inc()
 	if err := b.Store.Save(key, c); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Builds returns how many times Acquire invoked a builder.
+func (b *SerialisingBackend) Builds() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.builds
 }
 
 // Release implements Backend: the state is serialised back to disk.
@@ -86,19 +98,29 @@ func (b *SerialisingBackend) Invocations() int64 {
 // CachedBackend is the paper's harness: instances stay in memory between
 // invocations, bounded by an LRU pool. Evicted instances are serialised to
 // the optional overflow store so no state is lost.
+//
+// With Durable set, the pool demotes to the memory tier of a two-level
+// read-through hierarchy over the content-addressed artifact store: a
+// memory miss consults the store before building, and every freshly built
+// instance is snapshotted into the store — so an eviction (or a process
+// death, when the store directory is shared between replicas) costs a
+// deserialisation, never a retrain.
 type CachedBackend struct {
 	// MaxEntries bounds the pool (0 = unbounded).
 	MaxEntries int
 	// Overflow, when set, receives evicted instances.
 	Overflow *model.Store
+	// Durable, when set, is the persistent snapshot tier under the pool.
+	Durable *store.Store
 	// Obs receives the pool's hit/miss/eviction metrics; nil means
 	// obs.Default.
 	Obs *obs.Registry
 
-	mu    sync.Mutex
-	ll    *list.List // front = most recent
-	items map[string]*list.Element
-	calls int64
+	mu     sync.Mutex
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+	calls  int64
+	builds int64
 }
 
 func (b *CachedBackend) obsReg() *obs.Registry {
@@ -134,11 +156,25 @@ func (b *CachedBackend) Acquire(key string, build Builder) (classify.Classifier,
 		return el.Value.(*cacheItem).c, nil
 	}
 	reg.Counter("harness_cache_misses_total").Inc()
-	// Try the overflow store before building from scratch.
+	// Read through the tiers before building from scratch: the legacy
+	// overflow store, then the durable snapshot store (which another
+	// replica may have populated).
 	var c classify.Classifier
 	if b.Overflow != nil {
 		if loaded, err := b.Overflow.Load(key); err == nil {
 			c = loaded
+		}
+	}
+	if c == nil && b.Durable != nil {
+		if blob, _, err := b.Durable.Get(key); err == nil {
+			if loaded, err := model.Unmarshal(blob); err == nil {
+				c = loaded
+				reg.Counter("harness_store_restores_total").Inc()
+			} else {
+				// A snapshot that no longer decodes (schema drift) is not
+				// fatal: fall through to a rebuild.
+				reg.Counter("harness_store_decode_errors_total").Inc()
+			}
 		}
 	}
 	if c == nil {
@@ -147,6 +183,11 @@ func (b *CachedBackend) Acquire(key string, build Builder) (classify.Classifier,
 			return nil, fmt.Errorf("harness: building instance %q: %w", key, err)
 		}
 		c = built
+		b.builds++
+		reg.Counter("harness_builds_total").Inc()
+		if b.Durable != nil {
+			b.snapshot(reg, key, c)
+		}
 	}
 	el := b.ll.PushFront(&cacheItem{key: key, c: c})
 	b.items[key] = el
@@ -175,11 +216,38 @@ func (b *CachedBackend) Release(key string, c classify.Classifier) error {
 	return nil
 }
 
+// snapshot persists a freshly built instance into the durable store,
+// best-effort: a model without a serialised form stays memory-only (the
+// §4.5 behaviour), it does not fail the invocation. Caller holds b.mu.
+func (b *CachedBackend) snapshot(reg *obs.Registry, key string, c classify.Classifier) {
+	began := time.Now()
+	blob, err := model.Marshal(c)
+	if err != nil {
+		reg.Counter("harness_snapshot_skipped_total").Inc()
+		return
+	}
+	if err := b.Durable.Put(key, store.Meta{Algorithm: c.Name(), Kind: "classifier"}, blob); err != nil {
+		reg.Counter("harness_snapshot_errors_total").Inc()
+		return
+	}
+	reg.Histogram("snapshot_ms").Observe(float64(time.Since(began).Microseconds()) / 1e3)
+}
+
 // Invocations implements Backend.
 func (b *CachedBackend) Invocations() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.calls
+}
+
+// Builds returns how many times Acquire had to invoke a builder — i.e.
+// actually (re)train — instead of serving the instance from memory or a
+// snapshot tier. The cross-replica failover drill asserts this stays 0 on
+// the replica that resumes a session it never trained.
+func (b *CachedBackend) Builds() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.builds
 }
 
 // Len returns the number of pooled instances.

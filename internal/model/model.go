@@ -15,16 +15,29 @@ import (
 	"sync"
 
 	"repro/internal/classify"
+	"repro/internal/cluster"
 )
 
 func init() {
 	// Concrete classifier types that can cross a serialisation boundary.
+	// Every registered algorithm with a gob form belongs here, so the
+	// content-addressed model store can snapshot any trained instance.
 	gob.Register(&classify.J48{})
 	gob.Register(&classify.NaiveBayes{})
 	gob.Register(&classify.ZeroR{})
 	gob.Register(&classify.OneR{})
 	gob.Register(&classify.IBk{})
 	gob.Register(&classify.Prism{})
+	gob.Register(&classify.DecisionStump{})
+	gob.Register(&classify.Logistic{})
+	gob.Register(&classify.MLP{})
+	gob.Register(&classify.RandomTree{})
+	gob.Register(&classify.Bagging{})
+	gob.Register(&classify.RandomForest{})
+	gob.Register(&classify.AdaBoostM1{})
+	// Clusterer snapshots (the iterative fitters worth persisting).
+	gob.Register(&cluster.KMeans{})
+	gob.Register(&cluster.EM{})
 }
 
 // Marshal serialises a trained classifier, interface type included.
@@ -41,6 +54,24 @@ func Unmarshal(b []byte) (classify.Classifier, error) {
 	var c classify.Classifier
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
 		return nil, fmt.Errorf("model: unmarshal: %w", err)
+	}
+	return c, nil
+}
+
+// MarshalClusterer serialises a fitted clusterer, interface type included.
+func MarshalClusterer(c cluster.Clusterer) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&c); err != nil {
+		return nil, fmt.Errorf("model: marshal clusterer %s: %w", c.Name(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalClusterer reverses MarshalClusterer.
+func UnmarshalClusterer(b []byte) (cluster.Clusterer, error) {
+	var c cluster.Clusterer
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("model: unmarshal clusterer: %w", err)
 	}
 	return c, nil
 }

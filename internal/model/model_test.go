@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/classify"
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 )
 
@@ -36,6 +37,82 @@ func TestMarshalUnmarshalPreservesBehaviour(t *testing.T) {
 		b2, _ := classify.Predict(j2, in)
 		if a != b2 {
 			t.Fatal("behaviour changed through serialisation")
+		}
+	}
+}
+
+// TestMarshalAllRegisteredAlgorithms is the store's coverage contract:
+// every classifier the service registry can train must survive a
+// marshal/unmarshal round trip with its predictions intact, otherwise a
+// replica restoring that snapshot would silently misbehave.
+func TestMarshalAllRegisteredAlgorithms(t *testing.T) {
+	d := datagen.Weather()
+	for _, name := range classify.Names() {
+		t.Run(name, func(t *testing.T) {
+			c, err := classify.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Train(d); err != nil {
+				t.Fatal(err)
+			}
+			b, err := Marshal(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Unmarshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c2.Name() != c.Name() {
+				t.Fatalf("round trip changed type: %s -> %s", c.Name(), c2.Name())
+			}
+			for _, in := range d.Instances {
+				want, err := classify.Predict(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := classify.Predict(c2, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != got {
+					t.Fatalf("prediction changed through serialisation (%s)", name)
+				}
+			}
+		})
+	}
+}
+
+func TestClustererRoundTrip(t *testing.T) {
+	d := datagen.GaussianClusters(3, 60, 4, 3.0, 11)
+	km := &cluster.KMeans{K: 3, MaxIter: 20, Seed: 7}
+	if err := km.Build(d); err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalClusterer(km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := UnmarshalClusterer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km2, ok := c2.(*cluster.KMeans)
+	if !ok {
+		t.Fatalf("round trip returned %T", c2)
+	}
+	for _, in := range d.Instances {
+		a, err := km.Assign(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := km2.Assign(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b2 {
+			t.Fatal("cluster assignment changed through serialisation")
 		}
 	}
 }

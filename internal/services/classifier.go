@@ -2,17 +2,15 @@ package services
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/soap"
+	"repro/internal/store"
 	"repro/internal/viz"
 )
 
@@ -73,7 +71,7 @@ func NewClassifierService(backend harness.Backend) *Service {
 				In:   []string{"dataset", "classifier", "options", "attribute"},
 				Out:  []string{"model", "evaluation", "accuracy"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					c, d, err := trainFromParts(ctx, backend, parts)
+					c, d, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -159,7 +157,7 @@ func NewClassifierService(backend harness.Backend) *Service {
 				In:   []string{"dataset", "classifier", "options", "attribute"},
 				Out:  []string{"graph"},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
-					c, _, err := trainFromParts(ctx, backend, parts)
+					c, _, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
 						return nil, err
 					}
@@ -178,28 +176,30 @@ func NewClassifierService(backend harness.Backend) *Service {
 
 // trainFromParts resolves the four classifyInstance inputs (dataset,
 // classifier name, options, class attribute) and returns a trained
-// instance, going through the backend so instance state follows the
-// deployment's §4.5 strategy. The caller's ctx (carrying any propagated
-// X-DM-Deadline) cancels in-flight training.
-func trainFromParts(ctx context.Context, backend harness.Backend, parts map[string]string) (classify.Classifier, *dataset.Dataset, error) {
+// instance plus its content-addressed instance key, going through the
+// backend so instance state follows the deployment's §4.5 strategy. The
+// caller's ctx (carrying any propagated X-DM-Deadline) cancels in-flight
+// training.
+func trainFromParts(ctx context.Context, backend harness.Backend, parts map[string]string) (classify.Classifier, *dataset.Dataset, string, error) {
 	d, err := parseDataset(parts, "dataset")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	name, err := require(parts, "classifier")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	opts, err := parseOptions(parts, "options")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
-	if attr := strings.TrimSpace(parts["attribute"]); attr != "" {
+	attr := strings.TrimSpace(parts["attribute"])
+	if attr != "" {
 		if err := d.SetClassByName(attr); err != nil {
-			return nil, nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+			return nil, nil, "", &soap.Fault{Code: "soap:Client", String: err.Error()}
 		}
 	}
-	key := InstanceKey(name, opts, parts["dataset"], parts["attribute"])
+	key := InstanceKey(name, opts, d, attr)
 	build := TrainBuilderContext(ctx, name, opts, d)
 	var trained classify.Classifier
 	err = harness.InvokeContext(ctx, backend, key, build, func(c classify.Classifier) error {
@@ -211,11 +211,11 @@ func trainFromParts(ctx context.Context, backend harness.Backend, parts map[stri
 		// original fault code (soap:Client for caller mistakes).
 		var f *soap.Fault
 		if errors.As(err, &f) {
-			return nil, nil, f
+			return nil, nil, "", f
 		}
-		return nil, nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+		return nil, nil, "", &soap.Fault{Code: "soap:Server", String: err.Error()}
 	}
-	return trained, d, nil
+	return trained, d, key, nil
 }
 
 // TrainBuilder returns a harness.Builder that constructs, configures and
@@ -252,21 +252,13 @@ func TrainBuilderContext(ctx context.Context, name string, opts map[string]strin
 }
 
 // InstanceKey derives the harness key identifying a trained instance: the
-// algorithm, its options, the dataset text and the class attribute.
-func InstanceKey(name string, opts map[string]string, arffText, attribute string) string {
-	h := sha256.New()
-	fmt.Fprintln(h, name)
-	keys := make([]string, 0, len(opts))
-	for k := range opts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(h, "%s=%s\n", k, opts[k])
-	}
-	fmt.Fprintln(h, attribute)
-	_, _ = h.Write([]byte(arffText))
-	return hex.EncodeToString(h.Sum(nil))[:32]
+// algorithm, its options, the class attribute and the canonical dataset
+// digest. Because the digest hashes parsed content rather than ARFF text,
+// the same dataset reaches the same key regardless of formatting — and the
+// key doubles as the content address under which the durable model store
+// files the trained snapshot, so the memory tier and the store tier agree.
+func InstanceKey(name string, opts map[string]string, d *dataset.Dataset, attribute string) string {
+	return store.Key(name, opts, dataset.Digest(d), attribute)
 }
 
 // modelText renders a trained model for the textual reply.

@@ -23,7 +23,7 @@ func NewJ48Service(backend harness.Backend) *Service {
 			"options":    parts["options"],
 			"attribute":  parts["attribute"],
 		}
-		c, _, err := trainFromParts(ctx, backend, parts2)
+		c, _, _, err := trainFromParts(ctx, backend, parts2)
 		if err != nil {
 			return nil, err
 		}

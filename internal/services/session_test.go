@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/soap"
+	"repro/internal/store"
 )
 
 func TestSessionServiceInteractiveUse(t *testing.T) {
@@ -116,6 +117,74 @@ func TestSessionSurvivesEviction(t *testing.T) {
 	}
 	if !strings.Contains(out["model"], "node-caps") {
 		t.Fatalf("rebuilt model:\n%s", out["model"])
+	}
+}
+
+// TestSessionTokenPortableAcrossReplicas is the failover scenario at the
+// service level: two independent Session services (distinct backends, as
+// two dmserver processes would have) share one model-store directory. A
+// token minted by replica A resumes on replica B from the stored snapshot
+// — zero builds on B.
+func TestSessionTokenPortableAcrossReplicas(t *testing.T) {
+	dir := t.TempDir()
+	storeA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeA.Close()
+	storeB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeB.Close()
+	backendA := harness.NewCachedBackend(8)
+	backendA.Durable = storeA
+	backendB := harness.NewCachedBackend(8)
+	backendB.Durable = storeB
+	urlA := hostServices(t, NewSessionService(backendA)) + "/services/Session"
+	urlB := hostServices(t, NewSessionService(backendB)) + "/services/Session"
+
+	full := datagen.BreastCancer()
+	out, err := soap.CallContext(context.Background(), urlA, "createSession", map[string]string{
+		"dataset": arff.Format(full.Clone()), "classifier": "J48", "attribute": "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := out["session"]
+	if !strings.HasPrefix(token, "dms1.") {
+		t.Fatalf("session id is not a portable token: %q", token)
+	}
+
+	// Replica B has never seen this session; it must answer from the store.
+	unlabelled := full.Clone()
+	for _, in := range unlabelled.Instances {
+		in.Values[unlabelled.ClassIndex] = dataset.Missing
+	}
+	got, err := soap.CallContext(context.Background(), urlB, "classify", map[string]string{
+		"session": token, "instances": arff.Format(unlabelled),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(got["labels"]), "\n")); n != full.NumInstances() {
+		t.Fatalf("labelled %d of %d on the resuming replica", n, full.NumInstances())
+	}
+	if backendB.Builds() != 0 {
+		t.Fatalf("resuming replica retrained %d times, want 0", backendB.Builds())
+	}
+	if storeB.Stats().Hits == 0 {
+		t.Fatal("resume did not read the stored snapshot")
+	}
+	// The labels must match what the creator's model produces.
+	want, err := soap.CallContext(context.Background(), urlA, "classify", map[string]string{
+		"session": token, "instances": arff.Format(unlabelled),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["labels"] != want["labels"] {
+		t.Fatal("replica B's restored model disagrees with replica A's")
 	}
 }
 

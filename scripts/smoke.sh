@@ -12,8 +12,11 @@
 # the in-flight bound held, and SIGINT drains gracefully. Phase 4 covers
 # the parallel kernels: a crossValidate call with parallelism=4 against
 # the live phase-1 dmserver must finish under the client's propagated
-# deadline and leave the kernel_ms metric on /metrics. Run from the
-# repo root.
+# deadline and leave the kernel_ms metric on /metrics. Phase 5 covers the
+# model store: two dmservers share a -store-dir behind a registry, a
+# session trained on one replica is SIGKILLed away, and the next classify
+# must resume warm on the survivor — snapshot restored from the store,
+# zero retrains. Run from the repo root.
 set -eu
 
 WORK=$(mktemp -d)
@@ -22,8 +25,11 @@ REG_PID=""
 GOOD_PID=""
 BAD_PID=""
 FLOOD_PID=""
+REG2_PID=""
+REPA_PID=""
+REPB_PID=""
 cleanup() {
-	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID" "$FLOOD_PID"; do
+	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID" "$FLOOD_PID" "$REG2_PID" "$REPA_PID" "$REPB_PID"; do
 		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
 	done
 	rm -rf "$WORK"
@@ -324,4 +330,127 @@ for want in "kernel_ms{kernel=crossvalidate}" "kernel_runs_total{kernel=crossval
 done
 
 echo "smoke: phase 4 ok (accuracy=$acc, parallel fold kernel observed)"
+
+# ---------------------------------------------------------------------------
+# Phase 5: model store failover. Two dmserver replicas share one
+# -store-dir and publish into a fresh registry. A session is created
+# (trained) on replica A; A is then SIGKILLed — no drain, no goodbye —
+# and the same session token must classify on replica B: restored from
+# the shared store (store_hits_total > 0 on B) without a single retrain
+# (no harness build on B).
+# The phase-2 servers are done; stop them so they don't pollute lookups.
+kill "$GOOD_PID" "$BAD_PID" 2>/dev/null || true
+GOOD_PID=""
+BAD_PID=""
+
+"$WORK/dmregistry" -addr 127.0.0.1:0 -ttl 30s >"$WORK/registry2.log" 2>&1 &
+REG2_PID=$!
+REG2=""
+i=0
+while [ $i -lt 50 ]; do
+	REG2=$(sed -n 's|^dmregistry listening on \(http://[^ ]*\).*|\1|p' "$WORK/registry2.log" | head -1)
+	[ -n "$REG2" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$REG2" ]; then
+	echo "smoke: phase-5 dmregistry did not start" >&2
+	cat "$WORK/registry2.log" >&2
+	exit 1
+fi
+
+STOREDIR="$WORK/modelstore"
+"$WORK/dmserver" -addr 127.0.0.1:0 -store-dir "$STOREDIR" -publish "$REG2" \
+	-heartbeat 1s >"$WORK/repA.log" 2>&1 &
+REPA_PID=$!
+"$WORK/dmserver" -addr 127.0.0.1:0 -store-dir "$STOREDIR" -publish "$REG2" \
+	-heartbeat 1s >"$WORK/repB.log" 2>&1 &
+REPB_PID=$!
+REPA=""
+REPB=""
+i=0
+while [ $i -lt 100 ]; do
+	REPA=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/repA.log" | head -1)
+	REPB=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/repB.log" | head -1)
+	[ -n "$REPA" ] && [ -n "$REPB" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$REPA" ] || [ -z "$REPB" ]; then
+	echo "smoke: store replicas did not start" >&2
+	cat "$WORK/repA.log" "$WORK/repB.log" >&2
+	exit 1
+fi
+# Both replicas must be discoverable behind the registry before the drill.
+i=0
+while [ $i -lt 100 ]; do
+	n=$(curl -fsS "$REG2/inquiry?name=Session" 2>/dev/null |
+		grep -o '"endpoint"' | wc -l) || n=0
+	[ "$n" -ge 2 ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ "$n" -lt 2 ]; then
+	echo "smoke: registry lists $n Session endpoint(s), want 2" >&2
+	exit 1
+fi
+
+# Train a session on replica A; the token must be the portable dms1 form.
+"$WORK/dmclient" -url "$REPA/services/Session" -op createSession \
+	-timeout 30s -file "dataset=$WORK/breast.arff" \
+	-part classifier=J48 -part attribute=Class >"$WORK/sess.out" 2>"$WORK/sess.err" || {
+	echo "smoke: createSession on replica A failed" >&2
+	cat "$WORK/sess.out" "$WORK/sess.err" >&2
+	exit 1
+}
+TOKEN=$(sed -n '/^=== session ===$/{n;p;}' "$WORK/sess.out")
+case "$TOKEN" in
+dms1.*) ;;
+*)
+	echo "smoke: session id '$TOKEN' is not a portable dms1 token" >&2
+	cat "$WORK/sess.out" >&2
+	exit 1
+	;;
+esac
+
+# Kill the serving replica the hard way: SIGKILL, mid-session.
+kill -9 "$REPA_PID" 2>/dev/null || true
+wait "$REPA_PID" 2>/dev/null || true
+REPA_PID=""
+
+# The very next call lands on the survivor and must answer warm.
+"$WORK/dmclient" -url "$REPB/services/Session" -op classify \
+	-timeout 30s -part "session=$TOKEN" -file "instances=$WORK/breast.arff" \
+	>"$WORK/resume.out" 2>"$WORK/resume.err" || {
+	echo "smoke: classify on the survivor failed after SIGKILL" >&2
+	cat "$WORK/resume.out" "$WORK/resume.err" >&2
+	exit 1
+}
+labels=$(sed -n '/^=== labels ===$/,$p' "$WORK/resume.out" | grep -c 'recurrence\|no-recurrence') || labels=0
+if [ "$labels" -lt 1 ]; then
+	echo "smoke: survivor returned no labels" >&2
+	cat "$WORK/resume.out" >&2
+	exit 1
+fi
+
+# The survivor must prove it resumed from the store, not by retraining:
+# a nonzero store hit, and no harness build at all.
+curl -fsS "$REPB/metrics" >"$WORK/storeB-metrics.json"
+if ! grep -Eq '"store_hits_total[^"]*": *[1-9]' "$WORK/storeB-metrics.json"; then
+	echo "smoke: survivor shows no store_hits_total" >&2
+	cat "$WORK/storeB-metrics.json" >&2
+	exit 1
+fi
+if ! grep -Eq '"harness_store_restores_total[^"]*": *[1-9]' "$WORK/storeB-metrics.json"; then
+	echo "smoke: survivor shows no harness_store_restores_total" >&2
+	cat "$WORK/storeB-metrics.json" >&2
+	exit 1
+fi
+if grep -Eq '"harness_builds_total[^"]*": *[1-9]' "$WORK/storeB-metrics.json"; then
+	echo "smoke: survivor retrained (harness_builds_total > 0)" >&2
+	cat "$WORK/storeB-metrics.json" >&2
+	exit 1
+fi
+
+echo "smoke: phase 5 ok (token resumed on survivor, store hit, zero retrains)"
 echo "smoke: ok"

@@ -2,8 +2,9 @@
 # verify.sh — the full local gate: formatting, build, vet (gated on any
 # finding), tests (including the admission goroutine-leak check and the
 # registry sweep races under -race), then the end-to-end smoke: live
-# dmserver probes, traced dmexp batch, chaos failover, and the admission
-# flood + graceful-drain drill. Run from the repo root.
+# dmserver probes, traced dmexp batch, chaos failover, the admission
+# flood + graceful-drain drill, and the model-store replica-failover
+# drill. Run from the repo root.
 set -eux
 
 unformatted=$(gofmt -l .)
@@ -35,5 +36,10 @@ go test -race ./...
 # actually interleaves.
 go test -race -run 'Parallel|ForEach|Cancellation' \
 	./internal/parallel/ ./internal/classify/ ./internal/cluster/ ./internal/attrsel/
+
+# The model store gets its own -race pass: torn-tail recovery, concurrent
+# Put/Get, and the two-replica session-resume paths must hold when store
+# and harness access actually interleaves.
+go test -race ./internal/store/ ./internal/harness/ ./internal/services/
 
 ./scripts/smoke.sh

@@ -174,6 +174,17 @@ func main() {
 		"fold/member/assignment fan-out scales with cores; results bit-identical at any worker count",
 		fmt.Sprintf("GOMAXPROCS=%d: %s", pr.GoMaxProcs, strings.Join(lines, "; ")))
 
+	// Tentpole: batched dmb1 scoring vs per-instance XML over live SOAP.
+	pr.Batch = batchExperiment(dep)
+	var batchLines []string
+	for _, b := range pr.Batch {
+		batchLines = append(batchLines, fmt.Sprintf("N=%d: XML %.0f rows/s vs dmb1 %.0f rows/s (%.1fx)",
+			b.BatchSize, b.XMLRowsPerSec, b.DMB1RowsPerSec, b.Speedup))
+	}
+	report("—", "Batched scoring (classifyBatch/dmb1)",
+		"per-call XML envelopes cap scoring throughput; one columnar block amortises parse, model restore and dispatch over N rows",
+		strings.Join(batchLines, "; "))
+
 	// Model store: snapshot codec throughput and warm resume vs cold retrain.
 	pr.Store = storeExperiment()
 	var storeLines []string
@@ -224,11 +235,22 @@ type storeResult struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+// batchResult is one row of the batched-scoring report: the same rows
+// scored through a live session per-instance over XML and as one dmb1
+// columnar block.
+type batchResult struct {
+	BatchSize      int     `json:"batchSize"`
+	XMLRowsPerSec  float64 `json:"xmlRowsPerSec"`
+	DMB1RowsPerSec float64 `json:"dmb1RowsPerSec"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // parallelReport is the BENCH_parallel.json document.
 type parallelReport struct {
 	GoMaxProcs int            `json:"goMaxProcs"`
 	Note       string         `json:"note"`
 	Kernels    []kernelResult `json:"kernels"`
+	Batch      []batchResult  `json:"batch,omitempty"`
 	Store      []storeResult  `json:"store,omitempty"`
 }
 
@@ -282,6 +304,74 @@ func parallelExperiment() parallelReport {
 			}),
 		},
 	}
+}
+
+// batchExperiment measures scoring throughput through a live session:
+// the same rows labelled one envelope per instance over the XML path
+// (client.Classify, N HTTP calls, N ARFF parses, N model lookups) and as
+// one dmb1 columnar block (client.ClassifyBatch, one call, one decode,
+// one batch scoring pass). Rows/sec at N=1 shows the fixed per-call
+// floor; N=1024 shows the amortised fast path.
+func batchExperiment(dep *core.Deployment) []batchResult {
+	d := datagen.RandomNominal(1024, 10, 4, 0.2, 41)
+	client := core.NewClient(dep.BaseURL)
+	ctx := context.Background()
+	token, err := client.CreateSession(ctx, core.TrainOptions{Dataset: d, Classifier: "J48"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.CloseSession(ctx, token)
+
+	// Reusable single-row dataset for the per-instance XML calls.
+	one := d.CloneSchema()
+	one.MustAdd(d.Instances[0])
+
+	var out []batchResult
+	for _, n := range []int{1, 64, 1024} {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		v := dataset.NewView(d, rows)
+		runs := 3
+		if n >= 1024 {
+			runs = 1
+		}
+
+		if _, err := client.ClassifyBatch(ctx, token, v); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		began := time.Now()
+		for r := 0; r < runs; r++ {
+			labels, err := client.ClassifyBatch(ctx, token, v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(labels) != n {
+				log.Fatalf("batch returned %d labels for %d rows", len(labels), n)
+			}
+		}
+		dmb1Sec := time.Since(began).Seconds() / float64(runs)
+
+		began = time.Now()
+		for r := 0; r < runs; r++ {
+			for i := 0; i < n; i++ {
+				one.Instances[0] = d.Instances[i]
+				if _, err := client.Classify(ctx, token, one); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		xmlSec := time.Since(began).Seconds() / float64(runs)
+
+		out = append(out, batchResult{
+			BatchSize:      n,
+			XMLRowsPerSec:  float64(n) / xmlSec,
+			DMB1RowsPerSec: float64(n) / dmb1Sec,
+			Speedup:        xmlSec / dmb1Sec,
+		})
+	}
+	return out
 }
 
 // storeExperiment measures the model store's economics per algorithm:

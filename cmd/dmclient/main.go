@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
@@ -41,8 +42,13 @@ func (p partsFlag) Set(s string) error {
 }
 
 // filePartsFlag collects repeated -file name=path arguments, loading the
-// file contents as the part value.
-type filePartsFlag struct{ parts partsFlag }
+// file contents as the part value. With encode set, the bytes are
+// base64-encoded first — for shipping raw binary payloads (captured dmb1
+// blocks) through string-typed SOAP parts.
+type filePartsFlag struct {
+	parts  partsFlag
+	encode bool
+}
 
 func (f filePartsFlag) String() string { return f.parts.String() }
 
@@ -55,7 +61,11 @@ func (f filePartsFlag) Set(s string) error {
 	if err != nil {
 		return err
 	}
-	f.parts[s[:eq]] = string(data)
+	if f.encode {
+		f.parts[s[:eq]] = base64.StdEncoding.EncodeToString(data)
+	} else {
+		f.parts[s[:eq]] = strings.TrimSpace(string(data))
+	}
 	return nil
 }
 
@@ -68,7 +78,8 @@ func main() {
 	logLevel := flag.String("log-level", "warn", "structured log level: debug|info|warn|error|off")
 	parts := partsFlag{}
 	flag.Var(parts, "part", "operation input as name=value (repeatable)")
-	flag.Var(filePartsFlag{parts}, "file", "operation input as name=path, loading the file (repeatable)")
+	flag.Var(filePartsFlag{parts: parts}, "file", "operation input as name=path, loading the file (repeatable)")
+	flag.Var(filePartsFlag{parts: parts, encode: true}, "fileb64", "operation input as name=path, base64-encoding the file's raw bytes (repeatable)")
 	flag.Parse()
 
 	if lvl, err := obs.ParseLevel(*logLevel); err != nil {

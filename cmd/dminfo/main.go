@@ -13,9 +13,12 @@
 //	dminfo -embedded weather -arff
 //	dminfo -list
 //	dminfo -store /var/lib/dmserver/models
+//	dminfo -decode-dmb1 payload.bin
 package main
 
 import (
+	"bytes"
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -38,8 +42,18 @@ func main() {
 	embedded := flag.String("embedded", "", "print an embedded dataset: breast-cancer, weather, weather-numeric, contact-lenses")
 	list := flag.Bool("list", false, "list registered classifiers, clusterers and attribute-selection approaches")
 	asARFF := flag.Bool("arff", false, "dump the dataset as an ARFF document instead of the statistics block")
+	asDMB1 := flag.Bool("dmb1", false, "dump the dataset as a base64 dmb1 block instead of the statistics block")
+	tile := flag.Int("tile", 0, "replicate the dataset's rows round-robin until it has N rows (for building batch payloads)")
 	storeDir := flag.String("store", "", "list the snapshots of a content-addressed model store directory")
+	decodeDMB1 := flag.String("decode-dmb1", "", "decode a captured dmb1/dmr1 payload file (raw bytes or base64 text) and print a summary")
 	flag.Parse()
+
+	if *decodeDMB1 != "" {
+		if err := decodePayload(*decodeDMB1, *asARFF); err != nil {
+			log.Fatalf("dminfo: %v", err)
+		}
+		return
+	}
 
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
@@ -119,10 +133,93 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tile > 0 {
+		d = tileRows(d, *tile)
+	}
 	if *asARFF {
 		fmt.Print(arff.Format(d))
 		return
 	}
+	if *asDMB1 {
+		payload, err := wire.MarshalBase64(d)
+		if err != nil {
+			log.Fatalf("dminfo: %v", err)
+		}
+		fmt.Println(payload)
+		return
+	}
 	fmt.Printf("Relation: %s\n\n", d.Relation)
 	fmt.Print(dataset.Summarize(d).Format())
+}
+
+// tileRows replicates d's rows round-robin until the copy holds n rows —
+// how the smoke test inflates an embedded dataset into a batch payload.
+func tileRows(d *dataset.Dataset, n int) *dataset.Dataset {
+	out := d.CloneSchema()
+	for i := 0; i < n; i++ {
+		src := d.Instances[i%len(d.Instances)]
+		in := dataset.NewInstance(append([]float64(nil), src.Values...))
+		in.Weight = src.Weight
+		out.MustAdd(in)
+	}
+	return out
+}
+
+// decodePayload prints a human-readable summary of a captured dmb1
+// dataset block or dmr1 result block. SOAP envelopes carry the payload
+// part base64-encoded; the file may hold either that text or the raw
+// bytes after decoding — both are accepted.
+func decodePayload(path string, asARFF bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	raw := payloadBytes(data)
+
+	if d, err := wire.Unmarshal(raw); err == nil {
+		fmt.Printf("dmb1 dataset block: %d bytes, %d row(s), %d attribute(s)\n",
+			len(raw), d.NumInstances(), len(d.Attrs))
+		if ca := d.ClassAttribute(); ca != nil {
+			fmt.Printf("class attribute: %s\n", ca.Name)
+		} else {
+			fmt.Println("class attribute: (none)")
+		}
+		if asARFF {
+			fmt.Print(arff.Format(d))
+			return nil
+		}
+		fmt.Printf("\nRelation: %s\n\n", d.Relation)
+		fmt.Print(dataset.Summarize(d).Format())
+		return nil
+	} else if res, rerr := wire.UnmarshalResult(raw); rerr == nil {
+		fmt.Printf("dmr1 result block: %d bytes, %d row(s), %d class(es): %s\n",
+			len(raw), len(res.Labels), len(res.Classes), strings.Join(res.Classes, ", "))
+		counts := make([]int, len(res.Classes))
+		for _, l := range res.Labels {
+			counts[l]++
+		}
+		for i, name := range res.Classes {
+			fmt.Printf("  %-20s %d\n", name, counts[i])
+		}
+		return nil
+	} else {
+		return fmt.Errorf("not a decodable payload: as dmb1: %v; as dmr1: %v", err, rerr)
+	}
+}
+
+// payloadBytes undoes the SOAP transport encoding if present: if the
+// file is base64 text (possibly with whitespace), decode it; otherwise
+// treat it as the raw block.
+func payloadBytes(data []byte) []byte {
+	trimmed := bytes.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\n', '\r', '\t':
+			return -1
+		}
+		return r
+	}, data)
+	if dec, err := base64.StdEncoding.DecodeString(string(trimmed)); err == nil && len(dec) > 0 {
+		return dec
+	}
+	return data
 }

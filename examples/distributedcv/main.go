@@ -1,9 +1,10 @@
 // Distributedcv realises Grid WEKA's headline capability (§2) with the
 // toolkit's own pieces: cross-validation distributed "across several
 // computers contained within an ad-hoc Grid". Three deployments stand in
-// for grid nodes; each fold's train/evaluate job runs as a workflow task
-// against one of them (round-robin), with a dead node exercising the
-// fault-tolerant migration path.
+// for grid nodes; each fold's train/evaluate job goes out through the
+// typed client (round-robin over the nodes), with a dead node exercising
+// the fault-tolerant migration path: a fold whose assigned node is gone
+// fails over to the next live endpoint.
 package main
 
 import (
@@ -13,12 +14,10 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/arff"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
-	"repro/internal/workflow"
 )
 
 func main() {
@@ -46,52 +45,43 @@ func main() {
 		log.Fatal(err)
 	}
 
-	unitFor := func(dep *core.Deployment) *workflow.SOAPUnit {
-		return &workflow.SOAPUnit{
-			Endpoint:  dep.EndpointURL("Classifier"),
-			Service:   "Classifier",
-			Operation: "classifyInstance",
-			In:        []string{"dataset", "classifier", "options", "attribute"},
-			Out:       []string{"model", "evaluation", "accuracy"},
-		}
+	// One typed client serves every node: TrainAt takes the explicit
+	// Classifier endpoint, so the endpoint pool stays the caller's concern.
+	client := core.NewClient(nodes[0].BaseURL)
+	ctx := context.Background()
+	endpoints := make([]string, len(nodes))
+	for i, n := range nodes {
+		endpoints[i] = n.EndpointURL("Classifier")
 	}
 
-	g := workflow.NewGraph("distributed-cv")
-	for i := 0; i < k; i++ {
-		train, _ := dataset.TrainTestViewForFold(d, folds, i)
-		node := nodes[i%len(nodes)]
-		task := g.MustAdd(fmt.Sprintf("fold%d", i), unitFor(node))
-		// Every other node is an alternate: jobs on the dead node migrate.
-		for j := range nodes {
-			if j != i%len(nodes) {
-				task.Alternates = append(task.Alternates, unitFor(nodes[j]))
-			}
-		}
-		task.Params["dataset"] = arff.Format(train.Materialize())
-		task.Params["classifier"] = "J48"
-		task.Params["attribute"] = "Class"
-	}
-
+	// Dispatch each fold to its assigned node; on failure, migrate the job
+	// to the next endpoint in the ring (the workflow engine's alternates,
+	// spelled out with plain Go control flow over the typed API).
 	migrations := 0
-	eng := workflow.NewEngine()
-	eng.Monitor = func(ev workflow.Event) {
-		if ev.Kind == workflow.TaskRetried {
-			migrations++
-		}
-	}
-	res, err := eng.Run(context.Background(), g)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n%d fold jobs completed, %d migrated off the dead node\n", k, migrations)
-
-	// Pool the per-fold training accuracies reported by the services, then
-	// evaluate properly: held-out per fold with local models.
 	var remote []string
 	for i := 0; i < k; i++ {
-		acc, _ := res.Value(fmt.Sprintf("fold%d", i), "accuracy")
-		remote = append(remote, acc)
+		train, _ := dataset.TrainTestViewForFold(d, folds, i)
+		opts := core.TrainOptions{
+			Dataset:    train.Materialize(),
+			Classifier: "J48",
+			Class:      "Class",
+		}
+		var res *core.TrainResult
+		var lastErr error
+		for attempt := 0; attempt < len(endpoints); attempt++ {
+			ep := endpoints[(i+attempt)%len(endpoints)]
+			res, lastErr = client.TrainAt(ctx, ep, opts)
+			if lastErr == nil {
+				break
+			}
+			migrations++
+		}
+		if lastErr != nil {
+			log.Fatalf("fold %d failed on every node: %v", i, lastErr)
+		}
+		remote = append(remote, fmt.Sprintf("%.3f", res.Accuracy))
 	}
+	fmt.Printf("\n%d fold jobs completed, %d migrated off the dead node\n", k, migrations)
 	fmt.Printf("per-fold remote training accuracies: %s\n", strings.Join(remote, " "))
 
 	// Local verification pass (the Grid-WEKA "cross-validation" task run

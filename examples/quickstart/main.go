@@ -1,6 +1,9 @@
 // Quickstart: the toolkit's local API in one file — load the case-study
 // dataset, print the Figure-3 statistics, train the C4.5 (J48) classifier,
-// print the Figure-4 decision tree, and cross-validate it.
+// print the Figure-4 decision tree, and cross-validate it — then the same
+// knowledge over the wire with the typed client: deploy the services
+// in-process, open a session, and score instances one-at-a-time (XML) and
+// as one dmb1 binary batch.
 package main
 
 import (
@@ -45,4 +48,45 @@ func main() {
 	}
 	fmt.Println("\n== 10-fold cross-validation ==")
 	fmt.Print(ev.String())
+
+	// The same workflow over the wire, through the typed client: deploy
+	// every service on an ephemeral port and talk to it as a remote user
+	// would — no part maps, just Go values.
+	dep, err := core.Deploy("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	client := core.NewClient(dep.BaseURL)
+	ctx := context.Background()
+
+	fmt.Println("\n== Typed client (remote session) ==")
+	token, err := client.CreateSession(ctx, core.TrainOptions{
+		Dataset: d, Classifier: "J48", Class: "Class",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session: %.40s...\n", token)
+
+	// One-at-a-time over XML: fine interactively...
+	probe := d.Clone()
+	labels, err := client.Classify(ctx, token, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XML path labelled %d instances; first: %s\n", len(labels), labels[0])
+
+	// ...and the dmb1 binary batch path for throughput: the whole dataset
+	// ships as one columnar block, the model is restored once, and every
+	// label comes back with its class distribution.
+	batch, err := client.ClassifyBatch(ctx, token, dataset.All(probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch path scored %d rows in one call; first: %s %v\n",
+		len(batch), batch[0].Name, batch[0].Distribution)
+	if err := client.CloseSession(ctx, token); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -504,11 +504,15 @@ func (j *J48) Distribution(in *dataset.Instance) ([]float64, error) {
 		return nil, fmt.Errorf("classify: J48 is untrained")
 	}
 	out := make([]float64, j.classAttr.NumValues())
-	j.descend(j.root, in, 1, out)
+	j.descendCells(j.root, func(col int) float64 { return in.Values[col] }, 1, out)
 	return normalize(out), nil
 }
 
-func (j *J48) descend(n *TreeNode, in *dataset.Instance, w float64, acc []float64) {
+// descendCells walks the tree reading split values through the cell
+// accessor, so the per-instance row path and the columnar batch path
+// (DistributionBatch) run the exact same arithmetic in the exact same
+// order — predictions are bit-identical by construction.
+func (j *J48) descendCells(n *TreeNode, cell func(col int) float64, w float64, acc []float64) {
 	if n.Attr < 0 {
 		dist := n.Dist
 		total := sum(dist)
@@ -521,7 +525,7 @@ func (j *J48) descend(n *TreeNode, in *dataset.Instance, w float64, acc []float6
 		}
 		return
 	}
-	v := in.Values[n.Attr]
+	v := cell(n.Attr)
 	if dataset.IsMissing(v) {
 		var totalW float64
 		childW := make([]float64, len(n.Children))
@@ -530,12 +534,12 @@ func (j *J48) descend(n *TreeNode, in *dataset.Instance, w float64, acc []float6
 			totalW += childW[i]
 		}
 		if totalW <= 0 {
-			j.descend(n.Children[0], in, w, acc)
+			j.descendCells(n.Children[0], cell, w, acc)
 			return
 		}
 		for i, c := range n.Children {
 			if childW[i] > 0 {
-				j.descend(c, in, w*childW[i]/totalW, acc)
+				j.descendCells(c, cell, w*childW[i]/totalW, acc)
 			}
 		}
 		return
@@ -551,7 +555,25 @@ func (j *J48) descend(n *TreeNode, in *dataset.Instance, w float64, acc []float6
 			b = len(n.Children) - 1
 		}
 	}
-	j.descend(n.Children[b], in, w, acc)
+	j.descendCells(n.Children[b], cell, w, acc)
+}
+
+// DistributionBatch implements BatchScorer: every row descends the tree
+// through the columnar backing via the shared descendCells walk.
+func (j *J48) DistributionBatch(d *dataset.Dataset) ([][]float64, error) {
+	if j.root == nil {
+		return nil, fmt.Errorf("classify: J48 is untrained")
+	}
+	cols := d.Columns()
+	n := d.NumInstances()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := i
+		acc := make([]float64, j.classAttr.NumValues())
+		j.descendCells(j.root, func(col int) float64 { return cols[col][row] }, 1, acc)
+		out[i] = normalize(acc)
+	}
+	return out, nil
 }
 
 // Tree returns the trained tree root (nil before Train).

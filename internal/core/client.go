@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arff"
+	"repro/internal/dataset"
+	"repro/internal/services"
+	"repro/internal/soap"
+	"repro/internal/wire"
+)
+
+// Client is the typed Go API over a deployment's SOAP services. Where
+// the raw soap.Client exchanges map[string]string part maps — still
+// available via Raw() as the low-level escape hatch for operations this
+// facade does not cover — Client methods take and return Go values:
+// datasets go out as ARFF or dmb1 binary batches, results come back as
+// structs. One Client targets one base URL (a dmserver or anything
+// hosting the same services); TrainAt-style variants accept an explicit
+// endpoint for callers running their own endpoint pools.
+type Client struct {
+	base string
+	soap *soap.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithSOAPClient substitutes the underlying SOAP client (custom
+// timeouts, resilience policy, breakers, observer).
+func WithSOAPClient(sc *soap.Client) ClientOption {
+	return func(c *Client) { c.soap = sc }
+}
+
+// NewClient returns a typed client for the deployment at baseURL (e.g.
+// "http://host:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), soap: soap.NewClient()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Raw exposes the underlying part-map SOAP client — the documented
+// low-level escape hatch for operations without a typed wrapper.
+func (c *Client) Raw() *soap.Client { return c.soap }
+
+// Endpoint returns the URL of a named service on this deployment.
+func (c *Client) Endpoint(service string) string {
+	return c.base + "/services/" + service
+}
+
+// call invokes op at url and normalises transport errors.
+func (c *Client) call(ctx context.Context, url, op string, parts map[string]string) (map[string]string, error) {
+	out, err := c.soap.CallContext(ctx, url, op, parts)
+	if err != nil {
+		return nil, fmt.Errorf("dm: %s: %w", op, err)
+	}
+	return out, nil
+}
+
+// Classifiers lists the classification algorithms the deployment offers.
+func (c *Client) Classifiers(ctx context.Context) ([]string, error) {
+	out, err := c.call(ctx, c.Endpoint("Classifier"), "getClassifiers", nil)
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(out[services.PartClassifiers]), nil
+}
+
+// TrainOptions names the inputs of every training-shaped call: the
+// dataset, the algorithm, its options, and the class attribute (blank
+// means the dataset's designated class).
+type TrainOptions struct {
+	Dataset    *dataset.Dataset
+	Classifier string
+	Options    map[string]string
+	Class      string
+	// DatasetARFF, when non-empty, is sent instead of formatting Dataset
+	// — for callers that format once and reuse the text across many calls
+	// (the experiment engine's remote executor). Dataset may be nil then,
+	// in which case Class must be set explicitly.
+	DatasetARFF string
+}
+
+// parts renders the options as SOAP parts.
+func (o TrainOptions) parts() (map[string]string, error) {
+	if o.Dataset == nil && o.DatasetARFF == "" {
+		return nil, fmt.Errorf("dm: TrainOptions.Dataset is nil")
+	}
+	if o.Classifier == "" {
+		return nil, fmt.Errorf("dm: TrainOptions.Classifier is empty")
+	}
+	class := o.Class
+	if class == "" && o.Dataset != nil {
+		if ca := o.Dataset.ClassAttribute(); ca != nil {
+			class = ca.Name
+		}
+	}
+	text := o.DatasetARFF
+	if text == "" {
+		text = arff.Format(o.Dataset)
+	}
+	parts := map[string]string{
+		services.PartDataset:    text,
+		services.PartClassifier: o.Classifier,
+		services.PartAttribute:  class,
+	}
+	if len(o.Options) > 0 {
+		js, err := json.Marshal(o.Options)
+		if err != nil {
+			return nil, fmt.Errorf("dm: encoding options: %w", err)
+		}
+		parts[services.PartOptions] = string(js)
+	}
+	return parts, nil
+}
+
+// TrainResult is a classifyInstance reply: the textual model and its
+// resubstitution evaluation.
+type TrainResult struct {
+	Model      string
+	Evaluation string
+	Accuracy   float64
+}
+
+// Train trains o.Classifier on o.Dataset via the deployment's
+// Classifier service and returns the model text plus evaluation.
+func (c *Client) Train(ctx context.Context, o TrainOptions) (*TrainResult, error) {
+	return c.TrainAt(ctx, c.Endpoint("Classifier"), o)
+}
+
+// TrainAt is Train against an explicit Classifier-service endpoint, for
+// callers spreading work over their own endpoint pools (the experiment
+// engine's remote executor).
+func (c *Client) TrainAt(ctx context.Context, endpoint string, o TrainOptions) (*TrainResult, error) {
+	parts, err := o.parts()
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.call(ctx, endpoint, "classifyInstance", parts)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := strconv.ParseFloat(out[services.PartAccuracy], 64)
+	if err != nil {
+		return nil, fmt.Errorf("dm: classifyInstance returned no accuracy: %w", err)
+	}
+	return &TrainResult{
+		Model:      out[services.PartModel],
+		Evaluation: out[services.PartEvaluation],
+		Accuracy:   acc,
+	}, nil
+}
+
+// CVResult is a crossValidate reply.
+type CVResult struct {
+	Evaluation string
+	Accuracy   float64
+	Folds      int
+}
+
+// CrossValidate runs stratified k-fold cross-validation on the server.
+// folds <= 0 uses the service default (10); seed <= 0 uses 1.
+func (c *Client) CrossValidate(ctx context.Context, o TrainOptions, folds, seed int) (*CVResult, error) {
+	parts, err := o.parts()
+	if err != nil {
+		return nil, err
+	}
+	if folds > 0 {
+		parts[services.PartFolds] = strconv.Itoa(folds)
+	}
+	if seed > 0 {
+		parts[services.PartSeed] = strconv.Itoa(seed)
+	}
+	out, err := c.call(ctx, c.Endpoint("Classifier"), "crossValidate", parts)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := strconv.ParseFloat(out[services.PartAccuracy], 64)
+	if err != nil {
+		return nil, fmt.Errorf("dm: crossValidate returned no accuracy: %w", err)
+	}
+	gotFolds, _ := strconv.Atoi(out[services.PartFolds])
+	return &CVResult{Evaluation: out[services.PartEvaluation], Accuracy: acc, Folds: gotFolds}, nil
+}
+
+// CreateSession trains once and mints a replica-portable session token
+// for interactive use.
+func (c *Client) CreateSession(ctx context.Context, o TrainOptions) (string, error) {
+	parts, err := o.parts()
+	if err != nil {
+		return "", err
+	}
+	out, err := c.call(ctx, c.Endpoint("Session"), "createSession", parts)
+	if err != nil {
+		return "", err
+	}
+	token := strings.TrimSpace(out[services.PartSession])
+	if token == "" {
+		return "", fmt.Errorf("dm: createSession returned no session token")
+	}
+	return token, nil
+}
+
+// CloseSession releases the session on the replica behind this client.
+func (c *Client) CloseSession(ctx context.Context, token string) error {
+	_, err := c.call(ctx, c.Endpoint("Session"), "closeSession",
+		map[string]string{services.PartSession: token})
+	return err
+}
+
+// Classify labels instances with the session's model over the XML row
+// path: one ARFF document in, newline-separated label names out. For
+// high-throughput scoring use ClassifyBatch.
+func (c *Client) Classify(ctx context.Context, token string, d *dataset.Dataset) ([]string, error) {
+	out, err := c.call(ctx, c.Endpoint("Session"), "classify", map[string]string{
+		services.PartSession:   token,
+		services.PartInstances: arff.Format(d),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(out[services.PartLabels]) == "" {
+		return nil, nil
+	}
+	return strings.Split(strings.TrimSpace(out[services.PartLabels]), "\n"), nil
+}
+
+// Label is one row's batched scoring outcome.
+type Label struct {
+	Index        int       // class-label index
+	Name         string    // class-label name
+	Distribution []float64 // per-class probabilities, class-index order
+}
+
+// ClassifyBatch scores the view's rows with the session's model over
+// the dmb1 binary fast path: the selection is shipped as one columnar
+// block, the server restores the model once and scores all rows in a
+// single invocation, and the DMR1 reply carries every label plus its
+// per-class distribution.
+func (c *Client) ClassifyBatch(ctx context.Context, token string, v *dataset.View) ([]Label, error) {
+	payload, n, err := marshalView(v)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.call(ctx, c.Endpoint("Session"), "classifyBatch", map[string]string{
+		services.PartSession:  token,
+		services.PartPayload:  payload,
+		services.PartEncoding: wire.Encoding,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeLabels(out, n)
+}
+
+// TrainClassifyBatch trains (or restores, via the content-addressed
+// model store) a classifier and scores a batch in one Classifier-
+// service call — batched scoring without session setup.
+func (c *Client) TrainClassifyBatch(ctx context.Context, o TrainOptions, v *dataset.View) ([]Label, error) {
+	parts, err := o.parts()
+	if err != nil {
+		return nil, err
+	}
+	payload, n, err := marshalView(v)
+	if err != nil {
+		return nil, err
+	}
+	parts[services.PartPayload] = payload
+	parts[services.PartEncoding] = wire.Encoding
+	out, err := c.call(ctx, c.Endpoint("Classifier"), "classifyBatch", parts)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLabels(out, n)
+}
+
+// marshalView encodes a view's selection as a base64 dmb1 block.
+func marshalView(v *dataset.View) (string, int, error) {
+	if v == nil {
+		return "", 0, fmt.Errorf("dm: ClassifyBatch needs a non-nil view")
+	}
+	d := v.Materialize()
+	payload, err := wire.MarshalBase64(d)
+	if err != nil {
+		return "", 0, fmt.Errorf("dm: encoding batch: %w", err)
+	}
+	return payload, d.NumInstances(), nil
+}
+
+// decodeLabels parses a classifyBatch reply into per-row labels.
+func decodeLabels(out map[string]string, wantRows int) ([]Label, error) {
+	res, err := wire.UnmarshalResultBase64(out[services.PartPayload])
+	if err != nil {
+		return nil, fmt.Errorf("dm: decoding batch result: %w", err)
+	}
+	if len(res.Labels) != wantRows {
+		return nil, fmt.Errorf("dm: batch result has %d rows, sent %d", len(res.Labels), wantRows)
+	}
+	labels := make([]Label, len(res.Labels))
+	for i, l := range res.Labels {
+		dist := make([]float64, len(res.Classes))
+		for cl := range res.Classes {
+			dist[cl] = res.Distributions[cl][i]
+		}
+		labels[i] = Label{Index: l, Name: res.Classes[l], Distribution: dist}
+	}
+	return labels, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+// TestClientTrainAndCrossValidate drives the typed client's training-
+// shaped calls against an in-process deployment.
+func TestClientTrainAndCrossValidate(t *testing.T) {
+	d := deploy(t)
+	c := NewClient(d.BaseURL)
+	ctx := context.Background()
+
+	names, err := c.Classifiers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(classify.Names()) {
+		t.Fatalf("Classifiers() = %d names, want %d", len(names), len(classify.Names()))
+	}
+
+	opts := TrainOptions{Dataset: datagen.Weather(), Classifier: "J48", Class: "play"}
+	res, err := c.Train(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy %v out of range", res.Accuracy)
+	}
+	if !strings.Contains(res.Model, "J48") {
+		t.Fatalf("model text is not a J48 tree:\n%s", res.Model)
+	}
+	if res.Evaluation == "" {
+		t.Fatal("empty evaluation")
+	}
+
+	cv, err := c.CrossValidate(ctx, TrainOptions{
+		Dataset: datagen.BreastCancer(), Classifier: "NaiveBayes", Class: "Class",
+	}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Folds != 5 {
+		t.Fatalf("folds = %d, want 5", cv.Folds)
+	}
+	if cv.Accuracy <= 0 || cv.Accuracy > 1 {
+		t.Fatalf("cv accuracy %v out of range", cv.Accuracy)
+	}
+}
+
+// TestClientValidation pins the client-side errors that never reach the
+// wire.
+func TestClientValidation(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	ctx := context.Background()
+	if _, err := c.Train(ctx, TrainOptions{Classifier: "J48"}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := c.Train(ctx, TrainOptions{Dataset: datagen.Weather()}); err == nil {
+		t.Fatal("empty classifier accepted")
+	}
+	if _, err := c.ClassifyBatch(ctx, "tok", nil); err == nil {
+		t.Fatal("nil view accepted")
+	}
+}
+
+// TestClientSessionBatch is the typed batch path end to end: create a
+// session, score over XML one-at-a-time and over dmb1 in one shot, and
+// require bit-identical labels and distributions between the two.
+func TestClientSessionBatch(t *testing.T) {
+	d := deploy(t)
+	c := NewClient(d.BaseURL)
+	ctx := context.Background()
+
+	train := datagen.BreastCancer()
+	token, err := c.CreateSession(ctx, TrainOptions{
+		Dataset: train, Classifier: "NaiveBayes", Class: "Class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := train.Clone()
+	xmlLabels, err := c.Classify(ctx, token, batch.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := c.ClassifyBatch(ctx, token, dataset.All(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != batch.NumInstances() || len(labels) != len(xmlLabels) {
+		t.Fatalf("got %d batch / %d xml labels for %d rows",
+			len(labels), len(xmlLabels), batch.NumInstances())
+	}
+	for i, l := range labels {
+		if l.Name != xmlLabels[i] {
+			t.Fatalf("row %d: batch label %q, xml label %q", i, l.Name, xmlLabels[i])
+		}
+		sum := 0.0
+		for _, p := range l.Distribution {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d: distribution sums to %v", i, sum)
+		}
+		ca := batch.ClassAttribute()
+		if l.Index < 0 || l.Index >= ca.NumValues() || ca.Value(l.Index) != l.Name {
+			t.Fatalf("row %d: label index %d / name %q disagree", i, l.Index, l.Name)
+		}
+	}
+
+	// Scoring a sub-view ships only the selected rows.
+	sub := dataset.NewView(batch, []int{0, 5, 9})
+	subLabels, err := c.ClassifyBatch(ctx, token, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subLabels) != 3 {
+		t.Fatalf("sub-view batch returned %d labels, want 3", len(subLabels))
+	}
+	for k, row := range []int{0, 5, 9} {
+		if subLabels[k].Name != labels[row].Name {
+			t.Fatalf("sub-view row %d label %q, full batch says %q",
+				row, subLabels[k].Name, labels[row].Name)
+		}
+	}
+
+	if err := c.CloseSession(ctx, token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClassifyBatch(ctx, token, dataset.All(batch)); err == nil {
+		t.Fatal("closed session still scores")
+	}
+}
+
+// TestClientTrainClassifyBatch exercises the sessionless Classifier-
+// service batch op through the typed client.
+func TestClientTrainClassifyBatch(t *testing.T) {
+	d := deploy(t)
+	c := NewClient(d.BaseURL)
+	ctx := context.Background()
+
+	train := datagen.Weather()
+	labels, err := c.TrainClassifyBatch(ctx,
+		TrainOptions{Dataset: train, Classifier: "J48", Class: "play"},
+		dataset.All(train.Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != train.NumInstances() {
+		t.Fatalf("%d labels for %d rows", len(labels), train.NumInstances())
+	}
+	// J48 on its own training data should be highly accurate; check the
+	// labels against the ground truth rather than pinning exact values.
+	ca := train.ClassAttribute()
+	agree := 0
+	for i, l := range labels {
+		if l.Name == ca.Value(int(train.Instances[i].Values[train.ClassIndex])) {
+			agree++
+		}
+	}
+	if agree < train.NumInstances()/2 {
+		t.Fatalf("only %d/%d labels agree with ground truth", agree, train.NumInstances())
+	}
+}

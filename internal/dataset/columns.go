@@ -1,0 +1,133 @@
+package dataset
+
+import "fmt"
+
+// Columnar (struct-of-arrays) storage. A Dataset can expose its cells as
+// one contiguous []float64 per attribute: cols[j][i] is instance i's
+// value for attribute j, with the usual encoding (numeric cells hold the
+// measurement, nominal/string cells the value index, missing cells NaN).
+// The scoring and clustering hot loops iterate these slices instead of
+// chasing []*Instance pointers, and the dmb1 wire codec (internal/wire)
+// reads and writes them directly.
+//
+// Datasets built row-first (ARFF parsing, AddRow) materialise the column
+// mirror lazily on the first Columns/Column call and cache it; any Add
+// drops the cache. Code that writes Instance.Values cells in place after
+// columns were handed out must call InvalidateColumns. Datasets built
+// column-first (FromColumns, the dmb1 decoder) carry the columns as the
+// authoritative backing from birth, with the Instances row view carved
+// out of a single slab so the legacy row API keeps working.
+
+// Columns returns the dataset's column-major backing, one contiguous
+// slice per attribute. The result is cached; callers must treat it as
+// read-only unless they own the dataset exclusively.
+func (d *Dataset) Columns() [][]float64 {
+	if d.cols != nil && d.colsRows == len(d.Instances) {
+		return d.cols
+	}
+	n, m := len(d.Instances), len(d.Attrs)
+	slab := make([]float64, n*m)
+	cols := make([][]float64, m)
+	for j := range cols {
+		cols[j] = slab[j*n : (j+1)*n : (j+1)*n]
+	}
+	for i, in := range d.Instances {
+		for j, v := range in.Values {
+			cols[j][i] = v
+		}
+	}
+	d.cols = cols
+	d.colsRows = n
+	return cols
+}
+
+// Column returns attribute j's contiguous value slice (see Columns).
+func (d *Dataset) Column(j int) []float64 { return d.Columns()[j] }
+
+// HasColumns reports whether a current column mirror exists without
+// building one — true for column-first datasets and for row-first
+// datasets whose mirror is cached and not stale.
+func (d *Dataset) HasColumns() bool {
+	return d.cols != nil && d.colsRows == len(d.Instances)
+}
+
+// InvalidateColumns drops the cached column mirror. Call it after
+// writing Instance.Values cells in place (filters do); the next Columns
+// call rebuilds the mirror from the rows.
+func (d *Dataset) InvalidateColumns() {
+	d.cols = nil
+	d.colsRows = 0
+}
+
+// FromColumns builds a dataset directly from column-major storage:
+// cols[j] holds attribute j's values for every row. The slices are
+// retained as the dataset's columnar backing — no copy — and the
+// Instances row view is carved from one freshly allocated slab so the
+// row API stays available. weights may be nil (unit weights). Nominal
+// and string cells are validated the way Add validates them: a non-
+// integral or out-of-range value index is an error, which is what turns
+// a corrupt wire payload into a caller fault instead of a panic deep in
+// a scoring loop.
+func FromColumns(relation string, attrs []*Attribute, classIndex int, cols [][]float64, weights []float64) (*Dataset, error) {
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("dataset: %d columns for %d attributes", len(cols), len(attrs))
+	}
+	if classIndex < -1 || classIndex >= len(attrs) {
+		return nil, fmt.Errorf("dataset: class index %d out of range", classIndex)
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
+	for j, col := range cols {
+		if len(col) != rows {
+			return nil, fmt.Errorf("dataset: column %q has %d rows, column %q has %d",
+				attrs[j].Name, len(col), attrs[0].Name, rows)
+		}
+		a := attrs[j]
+		if a.Kind == Numeric {
+			continue
+		}
+		for i, v := range col {
+			if IsMissing(v) {
+				continue
+			}
+			idx := int(v)
+			if float64(idx) != v || idx < 0 || idx >= a.NumValues() {
+				return nil, fmt.Errorf("dataset: row %d: invalid index %v for attribute %q", i, v, a.Name)
+			}
+		}
+	}
+	if weights != nil && len(weights) != rows {
+		return nil, fmt.Errorf("dataset: %d weights for %d rows", len(weights), rows)
+	}
+	d := New(relation, attrs...)
+	d.ClassIndex = classIndex
+	// One slab for every row view; each Instance aliases its n-th stripe.
+	m := len(attrs)
+	slab := make([]float64, rows*m)
+	d.Instances = make([]*Instance, rows)
+	for i := 0; i < rows; i++ {
+		vals := slab[i*m : (i+1)*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			vals[j] = cols[j][i]
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		d.Instances[i] = &Instance{Values: vals, Weight: w}
+	}
+	d.cols = cols
+	d.colsRows = rows
+	return d, nil
+}
+
+// WeightsSlice returns every instance weight as one slice (a copy).
+func (d *Dataset) WeightsSlice() []float64 {
+	out := make([]float64, len(d.Instances))
+	for i, in := range d.Instances {
+		out[i] = in.Weight
+	}
+	return out
+}

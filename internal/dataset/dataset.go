@@ -38,6 +38,42 @@ type Dataset struct {
 	Attrs      []*Attribute
 	ClassIndex int // -1 when no class attribute is designated
 	Instances  []*Instance
+
+	// cols is the columnar (struct-of-arrays) mirror served by Columns:
+	// one contiguous []float64 per attribute. It is authoritative for
+	// column-first datasets (FromColumns) and a lazily built cache for
+	// row-first ones; colsRows records the instance count it reflects so
+	// appends invalidate it implicitly.
+	cols     [][]float64
+	colsRows int
+
+	// slab is the spare row storage AddRow and Project carve
+	// Instance.Values from, so bulk loading costs one allocation per
+	// chunk of rows instead of one per row.
+	slab []float64
+}
+
+// rowSlabChunk is the float64 count of one row-storage slab chunk (32 KiB).
+const rowSlabChunk = 4096
+
+// rowSlice carves one row's value storage off the slab, growing it by a
+// chunk when exhausted. The carved slice has full capacity m, so callers
+// appending to it can never clobber a neighbouring row.
+func (d *Dataset) rowSlice() []float64 {
+	m := len(d.Attrs)
+	if m == 0 {
+		return nil
+	}
+	if len(d.slab) < m {
+		rows := rowSlabChunk / m
+		if rows < 16 {
+			rows = 16
+		}
+		d.slab = make([]float64, rows*m)
+	}
+	v := d.slab[:m:m]
+	d.slab = d.slab[m:]
+	return v
 }
 
 // New returns an empty dataset with the given relation name and attributes.
@@ -118,6 +154,7 @@ func (d *Dataset) Add(in *Instance) error {
 		in.Weight = 1
 	}
 	d.Instances = append(d.Instances, in)
+	d.InvalidateColumns()
 	return nil
 }
 
@@ -135,7 +172,7 @@ func (d *Dataset) AddRow(cells []string) error {
 	if len(cells) != len(d.Attrs) {
 		return fmt.Errorf("dataset: row has %d cells, schema has %d attributes", len(cells), len(d.Attrs))
 	}
-	vals := make([]float64, len(cells))
+	vals := d.rowSlice()
 	for i, c := range cells {
 		c = strings.TrimSpace(c)
 		if c == "?" || c == "" {
@@ -159,6 +196,7 @@ func (d *Dataset) AddRow(cells []string) error {
 		}
 	}
 	d.Instances = append(d.Instances, NewInstance(vals))
+	d.InvalidateColumns()
 	return nil
 }
 
@@ -209,6 +247,7 @@ func (d *Dataset) Shuffle(rng *rand.Rand) {
 	rng.Shuffle(len(d.Instances), func(i, j int) {
 		d.Instances[i], d.Instances[j] = d.Instances[j], d.Instances[i]
 	})
+	d.InvalidateColumns()
 }
 
 // TotalWeight returns the sum of instance weights.
@@ -277,8 +316,12 @@ func (d *Dataset) Project(cols []int) (*Dataset, error) {
 	}
 	out := New(d.Relation, attrs...)
 	out.ClassIndex = classAt
+	// One slab sized for the whole projection instead of one allocation
+	// per row; rowSlice then carves every row from it.
+	out.slab = make([]float64, len(d.Instances)*len(cols))
+	out.Instances = make([]*Instance, 0, len(d.Instances))
 	for _, in := range d.Instances {
-		vals := make([]float64, len(cols))
+		vals := out.rowSlice()
 		for i, c := range cols {
 			vals[i] = in.Values[c]
 		}

@@ -2,14 +2,13 @@ package experiment
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/arff"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -24,9 +23,10 @@ import (
 // failing are ejected from the rotation until their cooldown, and a
 // registry-discovered Remote re-inquires periodically so newly published
 // services join and withdrawn ones leave (the paper's UDDI failover).
-// Request shapes mirror internal/services: each job becomes one
-// classifyInstance call (dataset ARFF + classifier + options JSON +
-// class attribute), and the returned accuracy part becomes the job metric.
+// Calls go through the typed core.Client facade: each job becomes one
+// TrainAt invocation (the Classifier service's classifyInstance op —
+// dataset ARFF + classifier + options JSON + class attribute), and the
+// returned accuracy becomes the job metric.
 // Note the service evaluates on its training data (resubstitution), not by
 // cross-validation; use Local when fold-based estimates matter.
 type Remote struct {
@@ -46,6 +46,9 @@ type Remote struct {
 
 	poolOnce sync.Once
 	pool     *resilience.Pool
+
+	typedOnce sync.Once
+	typed     *core.Client
 
 	mu     sync.Mutex
 	arff   map[string]string   // dataset name -> formatted ARFF text
@@ -108,6 +111,21 @@ func (r *Remote) ensurePool() *resilience.Pool {
 		r.pool = resilience.NewPool(r.endpoints, opts...)
 	})
 	return r.pool
+}
+
+// typedClient builds the core.Client facade jobs are dispatched
+// through, honouring a caller-supplied SOAP client. The base URL is
+// irrelevant — every call goes through TrainAt with an explicit
+// endpoint from the pool.
+func (r *Remote) typedClient() *core.Client {
+	r.typedOnce.Do(func() {
+		if r.Client != nil {
+			r.typed = core.NewClient("", core.WithSOAPClient(r.Client))
+		} else {
+			r.typed = core.NewClient("")
+		}
+	})
+	return r.typed
 }
 
 func (r *Remote) observer() *obs.Registry {
@@ -179,26 +197,16 @@ func (r *Remote) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metr
 			return Metrics{}, Transient(fmt.Errorf("experiment: job %s: %w", job.ID, err))
 		}
 	}
-	opts, err := json.Marshal(job.Options)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("experiment: job %s: %w", job.ID, err)
-	}
 	class := ""
 	if ca := d.ClassAttribute(); ca != nil {
 		class = ca.Name
 	}
-	parts := map[string]string{
-		"dataset":    r.arffText(job.Dataset, d),
-		"classifier": job.Algorithm,
-		"options":    string(opts),
-		"attribute":  class,
-	}
-	var out map[string]string
-	if r.Client != nil {
-		out, err = r.Client.CallContext(ctx, endpoint, "classifyInstance", parts)
-	} else {
-		out, err = soap.CallContext(ctx, endpoint, "classifyInstance", parts)
-	}
+	res, err := r.typedClient().TrainAt(ctx, endpoint, core.TrainOptions{
+		DatasetARFF: r.arffText(job.Dataset, d),
+		Classifier:  job.Algorithm,
+		Options:     job.Options,
+		Class:       class,
+	})
 	pool.Record(endpoint, err)
 	if err != nil {
 		if IsTransient(err) {
@@ -207,9 +215,5 @@ func (r *Remote) Execute(ctx context.Context, job Job, d *dataset.Dataset) (Metr
 		return Metrics{}, err // IsTransient classifies faults vs transport errors
 	}
 	r.clearFailed(job.ID)
-	acc, err := strconv.ParseFloat(out["accuracy"], 64)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("experiment: job %s: service %s returned no accuracy: %w", job.ID, endpoint, err)
-	}
-	return Metrics{Accuracy: acc, ErrorRate: 1 - acc}, nil
+	return Metrics{Accuracy: res.Accuracy, ErrorRate: 1 - res.Accuracy}, nil
 }

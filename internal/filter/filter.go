@@ -184,6 +184,7 @@ func (Normalize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 			}
 		}
 	}
+	out.InvalidateColumns()
 	return out, nil
 }
 
@@ -225,6 +226,7 @@ func (Standardize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 			}
 		}
 	}
+	out.InvalidateColumns()
 	return out, nil
 }
 
@@ -275,6 +277,7 @@ func (ReplaceMissing) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 			}
 		}
 	}
+	out.InvalidateColumns()
 	return out, nil
 }
 

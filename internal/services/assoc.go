@@ -26,8 +26,8 @@ func NewAssociationService() *Service {
 			{
 				Name: "mine",
 				Doc:  "Mine association rules (Apriori or FPGrowth) from an ARFF dataset or raw transactions.",
-				In:   []string{"dataset", "transactions", "algorithm", "minSupport", "minConfidence", "maxRules"},
-				Out:  []string{"rules", "ruleCount", "itemsets"},
+				In:   []string{PartDataset, PartTransactions, PartAlgorithm, PartMinSupport, PartMinConfidence, PartMaxRules},
+				Out:  []string{PartRules, PartRuleCount, PartItemsets},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					minSupport, minConfidence := 0.1, 0.9
 					if v := strings.TrimSpace(parts["minSupport"]); v != "" {
@@ -145,7 +145,7 @@ func NewAttributeSelectionService() *Service {
 			{
 				Name: "getApproaches",
 				Doc:  "List the evaluator/search approaches available.",
-				Out:  []string{"approaches"},
+				Out:  []string{PartApproaches},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					return map[string]string{"approaches": strings.Join(attrselApproaches(), "\n")}, nil
 				},
@@ -153,8 +153,8 @@ func NewAttributeSelectionService() *Service {
 			{
 				Name: "rank",
 				Doc:  "Rank attributes with a single-attribute evaluator.",
-				In:   []string{"dataset", "evaluator"},
-				Out:  []string{"ranking"},
+				In:   []string{PartDataset, PartEvaluator},
+				Out:  []string{PartRanking},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {
@@ -178,8 +178,8 @@ func NewAttributeSelectionService() *Service {
 			{
 				Name: "select",
 				Doc:  "Select an attribute subset with an evaluator and a search strategy.",
-				In:   []string{"dataset", "evaluator", "search"},
-				Out:  []string{"selected"},
+				In:   []string{PartDataset, PartEvaluator, PartSearch},
+				Out:  []string{PartSelected},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {

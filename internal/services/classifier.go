@@ -39,7 +39,7 @@ func NewClassifierService(backend harness.Backend) *Service {
 			{
 				Name: "getClassifiers",
 				Doc:  "List the classification algorithms known to the service.",
-				Out:  []string{"classifiers"},
+				Out:  []string{PartClassifiers},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					return map[string]string{"classifiers": strings.Join(classify.Names(), "\n")}, nil
 				},
@@ -47,8 +47,8 @@ func NewClassifierService(backend harness.Backend) *Service {
 			{
 				Name: "getOptions",
 				Doc:  "Describe the run-time options of a classifier.",
-				In:   []string{"classifier"},
-				Out:  []string{"options"},
+				In:   []string{PartClassifier},
+				Out:  []string{PartOptions},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					name, err := require(parts, "classifier")
 					if err != nil {
@@ -68,8 +68,8 @@ func NewClassifierService(backend harness.Backend) *Service {
 			{
 				Name: "classifyInstance",
 				Doc:  "Train the named classifier on an ARFF dataset and return the model and its evaluation.",
-				In:   []string{"dataset", "classifier", "options", "attribute"},
-				Out:  []string{"model", "evaluation", "accuracy"},
+				In:   []string{PartDataset, PartClassifier, PartOptions, PartAttribute},
+				Out:  []string{PartModel, PartEvaluation, PartAccuracy},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					c, d, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
@@ -92,8 +92,8 @@ func NewClassifierService(backend harness.Backend) *Service {
 			{
 				Name: "crossValidate",
 				Doc:  "Stratified k-fold cross-validation of the named classifier, with parallel folds.",
-				In:   []string{"dataset", "classifier", "options", "attribute", "folds", "seed", "parallelism"},
-				Out:  []string{"evaluation", "accuracy", "folds"},
+				In:   []string{PartDataset, PartClassifier, PartOptions, PartAttribute, PartFolds, PartSeed, PartParallelism},
+				Out:  []string{PartEvaluation, PartAccuracy, PartFolds},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {
@@ -107,7 +107,7 @@ func NewClassifierService(backend harness.Backend) *Service {
 					if err != nil {
 						return nil, err
 					}
-					if attr := strings.TrimSpace(parts["attribute"]); attr != "" {
+					if attr := optional(parts, PartAttribute); attr != "" {
 						if err := d.SetClassByName(attr); err != nil {
 							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
 						}
@@ -152,10 +152,33 @@ func NewClassifierService(backend harness.Backend) *Service {
 				},
 			},
 			{
+				Name: "classifyBatch",
+				Doc: "Train (or restore) the named classifier and score a dmb1 binary batch in one call: " +
+					"N rows per invocation, one model restore amortised over all of them.",
+				In:  []string{PartDataset, PartClassifier, PartOptions, PartAttribute, PartPayload, PartEncoding},
+				Out: []string{PartPayload, PartRows, PartEncoding},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					c, _, _, err := trainFromParts(ctx, backend, parts)
+					if err != nil {
+						return nil, err
+					}
+					batch, err := decodeBatchPayload(parts, "classifyBatch")
+					if err != nil {
+						return nil, err
+					}
+					if attr := optional(parts, PartAttribute); attr != "" && batch.ClassAttribute() == nil {
+						if err := batch.SetClassByName(attr); err != nil {
+							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+						}
+					}
+					return scoreBatch(c, batch)
+				},
+			},
+			{
 				Name: "classifyGraph",
 				Doc:  "Like classifyInstance but returns the decision tree as a DOT graph.",
-				In:   []string{"dataset", "classifier", "options", "attribute"},
-				Out:  []string{"graph"},
+				In:   []string{PartDataset, PartClassifier, PartOptions, PartAttribute},
+				Out:  []string{PartGraph},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					c, _, _, err := trainFromParts(ctx, backend, parts)
 					if err != nil {
@@ -193,7 +216,7 @@ func trainFromParts(ctx context.Context, backend harness.Backend, parts map[stri
 	if err != nil {
 		return nil, nil, "", err
 	}
-	attr := strings.TrimSpace(parts["attribute"])
+	attr := optional(parts, PartAttribute)
 	if attr != "" {
 		if err := d.SetClassByName(attr); err != nil {
 			return nil, nil, "", &soap.Fault{Code: "soap:Client", String: err.Error()}

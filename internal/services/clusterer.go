@@ -26,7 +26,7 @@ func NewClustererService() *Service {
 			{
 				Name: "getClusterers",
 				Doc:  "List the clustering algorithms known to the service.",
-				Out:  []string{"clusterers"},
+				Out:  []string{PartClusterers},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					return map[string]string{"clusterers": strings.Join(cluster.Names(), "\n")}, nil
 				},
@@ -34,8 +34,8 @@ func NewClustererService() *Service {
 			{
 				Name: "getOptions",
 				Doc:  "Describe the run-time options of a clusterer.",
-				In:   []string{"clusterer"},
-				Out:  []string{"options"},
+				In:   []string{PartClusterer},
+				Out:  []string{PartOptions},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					name, err := require(parts, "clusterer")
 					if err != nil {
@@ -59,8 +59,8 @@ func NewClustererService() *Service {
 			{
 				Name: "cluster",
 				Doc:  "Apply the named clustering algorithm to an ARFF dataset.",
-				In:   []string{"dataset", "clusterer", "options"},
-				Out:  []string{"summary", "clusters", "silhouette"},
+				In:   []string{PartDataset, PartClusterer, PartOptions},
+				Out:  []string{PartSummary, PartClusters, PartSilhouette},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {
@@ -161,8 +161,8 @@ func NewCobwebService() *Service {
 			{
 				Name: "cluster",
 				Doc:  "Apply the Cobweb algorithm to an ARFF dataset; returns a textual result.",
-				In:   []string{"dataset", "options"},
-				Out:  []string{"summary", "clusters"},
+				In:   []string{PartDataset, PartOptions},
+				Out:  []string{PartSummary, PartClusters},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					cw, err := build(ctx, parts)
 					if err != nil {
@@ -177,8 +177,8 @@ func NewCobwebService() *Service {
 			{
 				Name: "getCobwebGraph",
 				Doc:  "Return the Cobweb concept hierarchy for plotting.",
-				In:   []string{"dataset", "options"},
-				Out:  []string{"graph", "text"},
+				In:   []string{PartDataset, PartOptions},
+				Out:  []string{PartGraph, PartText},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					cw, err := build(ctx, parts)
 					if err != nil {

@@ -26,7 +26,7 @@ func NewDataAccessService(db *dataaccess.Database) *Service {
 			{
 				Name: "listTables",
 				Doc:  "List the relational tables available.",
-				Out:  []string{"tables"},
+				Out:  []string{PartTables},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					return map[string]string{"tables": strings.Join(db.Tables(), "\n")}, nil
 				},
@@ -34,8 +34,8 @@ func NewDataAccessService(db *dataaccess.Database) *Service {
 			{
 				Name: "describe",
 				Doc:  "Describe a table's schema.",
-				In:   []string{"table"},
-				Out:  []string{"schema"},
+				In:   []string{PartTable},
+				Out:  []string{PartSchema},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					table, err := require(parts, "table")
 					if err != nil {
@@ -51,8 +51,8 @@ func NewDataAccessService(db *dataaccess.Database) *Service {
 			{
 				Name: "query",
 				Doc:  "Select/project rows from a table; result delivered as ARFF.",
-				In:   []string{"table", "columns", "where", "limit"},
-				Out:  []string{"arff", "rows"},
+				In:   []string{PartTable, PartColumns, PartWhere, PartLimit},
+				Out:  []string{PartArff, PartRows},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					table, err := require(parts, "table")
 					if err != nil {

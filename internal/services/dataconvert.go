@@ -38,8 +38,8 @@ func NewDataConvertService(fetch *http.Client) *Service {
 			{
 				Name: "csv2arff",
 				Doc:  "Convert a CSV document to ARFF (types inferred).",
-				In:   []string{"csv", "header", "relation"},
-				Out:  []string{"arff"},
+				In:   []string{PartCSV, PartHeader, PartRelation},
+				Out:  []string{PartArff},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					text, err := require(parts, "csv")
 					if err != nil {
@@ -59,8 +59,8 @@ func NewDataConvertService(fetch *http.Client) *Service {
 			{
 				Name: "arff2csv",
 				Doc:  "Convert an ARFF document to CSV.",
-				In:   []string{"dataset"},
-				Out:  []string{"csv"},
+				In:   []string{PartDataset},
+				Out:  []string{PartCSV},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {
@@ -72,8 +72,8 @@ func NewDataConvertService(fetch *http.Client) *Service {
 			{
 				Name: "readURL",
 				Doc:  "Fetch a dataset from a URL and normalise it to ARFF.",
-				In:   []string{"url", "format"},
-				Out:  []string{"arff"},
+				In:   []string{PartURL, PartFormat},
+				Out:  []string{PartArff},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					url, err := require(parts, "url")
 					if err != nil {
@@ -124,8 +124,8 @@ func NewDataConvertService(fetch *http.Client) *Service {
 			{
 				Name: "summarize",
 				Doc:  "Compute dataset statistics (instances, attributes, missing values).",
-				In:   []string{"dataset"},
-				Out:  []string{"summary", "instances", "attributes", "missing"},
+				In:   []string{PartDataset},
+				Out:  []string{PartSummary, PartInstances, PartAttributes, PartMissing},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {

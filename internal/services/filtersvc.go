@@ -29,7 +29,7 @@ func NewFilterService() *Service {
 			{
 				Name: "getFilters",
 				Doc:  "List the dataset filters available.",
-				Out:  []string{"filters"},
+				Out:  []string{PartFilters},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					return map[string]string{"filters": strings.Join(names, "\n")}, nil
 				},
@@ -37,8 +37,8 @@ func NewFilterService() *Service {
 			{
 				Name: "apply",
 				Doc:  "Apply a dataset filter and return the transformed ARFF.",
-				In:   []string{"dataset", "filter", "bins", "equalFrequency", "attributes"},
-				Out:  []string{"arff"},
+				In:   []string{PartDataset, PartFilter, PartBins, PartEqualFrequency, PartAttributes},
+				Out:  []string{PartArff},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					d, err := parseDataset(parts, "dataset")
 					if err != nil {

@@ -42,8 +42,8 @@ func NewJ48Service(backend harness.Backend) *Service {
 			{
 				Name: "classify",
 				Doc:  "Apply the C4.5 (J48) algorithm to an ARFF dataset; returns the textual decision tree.",
-				In:   []string{"dataset", "options", "attribute"},
-				Out:  []string{"tree"},
+				In:   []string{PartDataset, PartOptions, PartAttribute},
+				Out:  []string{PartTree},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					j, err := train(ctx, parts)
 					if err != nil {
@@ -55,8 +55,8 @@ func NewJ48Service(backend harness.Backend) *Service {
 			{
 				Name: "classifyGraph",
 				Doc:  "Like classify but returns a graphical (DOT) representation of the decision tree.",
-				In:   []string{"dataset", "options", "attribute"},
-				Out:  []string{"graph"},
+				In:   []string{PartDataset, PartOptions, PartAttribute},
+				Out:  []string{PartGraph},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					j, err := train(ctx, parts)
 					if err != nil {

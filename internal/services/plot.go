@@ -55,8 +55,8 @@ func NewPlotService() *Service {
 			{
 				Name: "plot",
 				Doc:  "Plot x,y points as ASCII art (GNUPlot dumb-terminal style).",
-				In:   []string{"points"},
-				Out:  []string{"plot"},
+				In:   []string{PartPoints},
+				Out:  []string{PartPlot},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					text, err := require(parts, "points")
 					if err != nil {
@@ -72,8 +72,8 @@ func NewPlotService() *Service {
 			{
 				Name: "plotPNG",
 				Doc:  "Plot x,y points as a PNG image (scatter or line).",
-				In:   []string{"points", "kind"},
-				Out:  []string{"image"},
+				In:   []string{PartPoints, PartKind},
+				Out:  []string{PartImage},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					text, err := require(parts, "points")
 					if err != nil {
@@ -113,8 +113,8 @@ func NewMathService() *Service {
 			{
 				Name: "plot3D",
 				Doc:  "Plot x,y,z CSV points in three dimensions; returns a PNG image.",
-				In:   []string{"points"},
-				Out:  []string{"image"},
+				In:   []string{PartPoints},
+				Out:  []string{PartImage},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					text, err := require(parts, "points")
 					if err != nil {

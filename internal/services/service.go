@@ -80,11 +80,11 @@ func Register(desc ServiceDesc) *Service {
 			wop.Inputs = append(wop.Inputs, wsdl.Part{Name: p})
 		}
 		for _, p := range op.Out {
-			// Binary parts travel base64-encoded; by convention the toolkit
-			// names them "image" (plotPNG, plot3D), which the WSDL types as
-			// base64Binary instead of string.
+			// Binary parts travel base64-encoded — "image" (plotPNG,
+			// plot3D) and "payload" (dmb1 batch blocks) — and the WSDL
+			// types them base64Binary instead of string.
 			typ := ""
-			if p == "image" {
+			if binaryParts[p] {
 				typ = "base64Binary"
 			}
 			wop.Outputs = append(wop.Outputs, wsdl.Part{Name: p, Type: typ})
@@ -187,6 +187,12 @@ func require(parts map[string]string, name string) (string, error) {
 		return "", &soap.Fault{Code: "soap:Client", String: "missing " + name + " part"}
 	}
 	return v, nil
+}
+
+// optional fetches a part that may be absent, returning its trimmed
+// value or "".
+func optional(parts map[string]string, name string) string {
+	return strings.TrimSpace(parts[name])
 }
 
 // optionsJSON renders option descriptors as the JSON getOptions reply.

@@ -153,8 +153,8 @@ func NewSessionService(backend harness.Backend) *Service {
 			{
 				Name: "createSession",
 				Doc:  "Train a classifier once and mint a portable session token for interactive use (§4.5).",
-				In:   []string{"dataset", "classifier", "options", "attribute"},
-				Out:  []string{"session", "algorithm"},
+				In:   []string{PartDataset, PartClassifier, PartOptions, PartAttribute},
+				Out:  []string{PartSession, PartAlgorithm},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					// Validate by training once through the shared path; the
 					// backend snapshots the instance into the durable store
@@ -173,7 +173,7 @@ func NewSessionService(backend harness.Backend) *Service {
 						Key:  key,
 						Alg:  parts["classifier"],
 						Opts: opts,
-						Attr: strings.TrimSpace(parts["attribute"]),
+						Attr: optional(parts, PartAttribute),
 					})
 					return map[string]string{"session": token, "algorithm": c.Name()}, nil
 				},
@@ -181,8 +181,8 @@ func NewSessionService(backend harness.Backend) *Service {
 			{
 				Name: "classify",
 				Doc:  "Label instances with the session's model.",
-				In:   []string{"session", "instances"},
-				Out:  []string{"labels"},
+				In:   []string{PartSession, PartInstances},
+				Out:  []string{PartLabels},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					t, err := lookup(parts)
 					if err != nil {
@@ -213,10 +213,41 @@ func NewSessionService(backend harness.Backend) *Service {
 				},
 			},
 			{
+				Name: "classifyBatch",
+				Doc: "Score a dmb1 binary batch with the session's model: one model restore, " +
+					"N rows, a DMR1 block of labels and per-class distributions back.",
+				In:  []string{PartSession, PartPayload, PartEncoding},
+				Out: []string{PartPayload, PartRows, PartEncoding},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					t, err := lookup(parts)
+					if err != nil {
+						return nil, err
+					}
+					batch, err := decodeBatchPayload(parts, "classifyBatch")
+					if err != nil {
+						return nil, err
+					}
+					if t.Attr != "" && batch.ClassAttribute() == nil {
+						if err := batch.SetClassByName(t.Attr); err != nil {
+							return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+						}
+					}
+					var out map[string]string
+					err = withModel(ctx, t, func(c classify.Classifier) error {
+						out, err = scoreBatch(c, batch)
+						return err
+					})
+					if err != nil {
+						return nil, asFault(err)
+					}
+					return out, nil
+				},
+			},
+			{
 				Name: "evaluate",
 				Doc:  "Evaluate the session's model on a labelled dataset.",
-				In:   []string{"session", "dataset"},
-				Out:  []string{"evaluation", "accuracy"},
+				In:   []string{PartSession, PartDataset},
+				Out:  []string{PartEvaluation, PartAccuracy},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					t, err := lookup(parts)
 					if err != nil {
@@ -256,8 +287,8 @@ func NewSessionService(backend harness.Backend) *Service {
 			{
 				Name: "getModel",
 				Doc:  "Return the session model's textual form.",
-				In:   []string{"session"},
-				Out:  []string{"model"},
+				In:   []string{PartSession},
+				Out:  []string{PartModel},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					t, err := lookup(parts)
 					if err != nil {
@@ -280,8 +311,8 @@ func NewSessionService(backend harness.Backend) *Service {
 			{
 				Name: "closeSession",
 				Doc:  "Release the session on this replica.",
-				In:   []string{"session"},
-				Out:  []string{"closed"},
+				In:   []string{PartSession},
+				Out:  []string{PartClosed},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					id, err := require(parts, "session")
 					if err != nil {

@@ -26,8 +26,8 @@ func NewTreeAnalyzerService() *Service {
 			{
 				Name: "analyze",
 				Doc:  "Analyse a textual J48 decision tree: root attribute, depth, leaves, rules.",
-				In:   []string{"tree"},
-				Out:  []string{"root", "depth", "leaves", "attributes", "rules"},
+				In:   []string{PartTree},
+				Out:  []string{PartRoot, PartDepth, PartLeaves, PartAttributes, PartRules},
 				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
 					text, err := require(parts, "tree")
 					if err != nil {

@@ -1,0 +1,564 @@
+// Package wire implements dmb1, the toolkit's compact binary dataset
+// codec for batched scoring. One dmb1 block carries a whole dataset —
+// schema plus length-prefixed columnar value blocks, one contiguous
+// float64 slice per attribute — so a classifyBatch call ships N rows in
+// a single SOAP part and the server decodes straight into the columnar
+// layout the scoring loops iterate.
+//
+// Layout (all integers little-endian):
+//
+//	"DMB1"            magic (4 bytes)
+//	u8  version       currently 1
+//	u8  flags         bit0: weights block present
+//	str relation      length-prefixed UTF-8 (u32 length)
+//	u32 classIndex    0xFFFFFFFF encodes "no class"
+//	u32 attrCount
+//	per attribute:
+//	  str name
+//	  u8  kind        0 numeric, 1 nominal, 2 string
+//	  u32 valueCount  then valueCount length-prefixed labels
+//	[8]byte digest    first 8 bytes of sha256 over the schema section
+//	u32 rows
+//	per attribute:    u32 byte length, then rows float64 values
+//	                  (missing = NaN, canonicalised on encode)
+//	weights block     same framing, present iff flags bit0
+//
+// The schema digest lets a decoder reject payloads whose schema bytes
+// were corrupted in transit before it trusts any column framing derived
+// from them. The result direction uses a sibling block, "DMR1": labels
+// plus per-class distribution columns (see MarshalResult).
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Format errors. Decoders wrap them with positional context; transports
+// map any *FormatError to a caller fault (the payload is wrong, not the
+// server).
+type FormatError struct{ msg string }
+
+func (e *FormatError) Error() string { return "wire: " + e.msg }
+
+func errf(format string, args ...any) error {
+	return &FormatError{msg: fmt.Sprintf(format, args...)}
+}
+
+const (
+	magicDataset = "DMB1"
+	magicResult  = "DMR1"
+	version      = 1
+
+	flagWeights = 1 << 0
+
+	noClass = 0xFFFFFFFF
+
+	// maxBlockBytes bounds any single length-prefixed block so a corrupt
+	// length cannot drive a multi-gigabyte allocation. It comfortably
+	// exceeds the SOAP layer's 64 MiB envelope cap.
+	maxBlockBytes = 256 << 20
+)
+
+// Encoding is the value of the SOAP `encoding` part that selects this
+// codec on batch operations.
+const Encoding = "dmb1"
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) f64(v float64) {
+	if math.IsNaN(v) {
+		v = math.NaN() // canonical NaN for missing
+	}
+	w.u64(math.Float64bits(v))
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if n < 0 || r.off+n > len(r.buf) {
+		return errf("truncated payload at offset %d (need %d of %d bytes)", r.off, n, len(r.buf))
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxBlockBytes {
+		return "", errf("string block of %d bytes exceeds limit", n)
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+func kindCode(k dataset.Kind) (uint8, error) {
+	switch k {
+	case dataset.Numeric:
+		return 0, nil
+	case dataset.Nominal:
+		return 1, nil
+	case dataset.String:
+		return 2, nil
+	default:
+		return 0, errf("unsupported attribute kind %v", k)
+	}
+}
+
+func kindFromCode(c uint8) (dataset.Kind, error) {
+	switch c {
+	case 0:
+		return dataset.Numeric, nil
+	case 1:
+		return dataset.Nominal, nil
+	case 2:
+		return dataset.String, nil
+	default:
+		return 0, errf("unknown attribute kind code %d", c)
+	}
+}
+
+// writeSchema appends the schema section (relation through attribute
+// table) and returns the byte range it occupies, for digesting.
+func writeSchema(w *writer, relation string, classIndex int, attrs []*dataset.Attribute) error {
+	start := len(w.buf)
+	w.str(relation)
+	ci := uint32(noClass)
+	if classIndex >= 0 {
+		ci = uint32(classIndex)
+	}
+	w.u32(ci)
+	w.u32(uint32(len(attrs)))
+	for _, a := range attrs {
+		w.str(a.Name)
+		kc, err := kindCode(a.Kind)
+		if err != nil {
+			return err
+		}
+		w.u8(kc)
+		w.u32(uint32(a.NumValues()))
+		for i := 0; i < a.NumValues(); i++ {
+			w.str(a.Value(i))
+		}
+	}
+	sum := sha256.Sum256(w.buf[start:])
+	w.buf = append(w.buf, sum[:8]...)
+	return nil
+}
+
+// readSchema parses the schema section, verifying its digest.
+func readSchema(r *reader) (relation string, classIndex int, attrs []*dataset.Attribute, err error) {
+	start := r.off
+	relation, err = r.str()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	ci, err := r.u32()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	classIndex = -1
+	if ci != noClass {
+		classIndex = int(ci)
+	}
+	attrCount, err := r.u32()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if attrCount > 1<<20 {
+		return "", 0, nil, errf("attribute count %d exceeds limit", attrCount)
+	}
+	attrs = make([]*dataset.Attribute, 0, attrCount)
+	for i := uint32(0); i < attrCount; i++ {
+		name, err := r.str()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		kc, err := r.u8()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		kind, err := kindFromCode(kc)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		valCount, err := r.u32()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		if valCount > 1<<24 {
+			return "", 0, nil, errf("attribute %q declares %d values", name, valCount)
+		}
+		vals := make([]string, 0, valCount)
+		for v := uint32(0); v < valCount; v++ {
+			s, err := r.str()
+			if err != nil {
+				return "", 0, nil, err
+			}
+			vals = append(vals, s)
+		}
+		var a *dataset.Attribute
+		switch kind {
+		case dataset.Numeric:
+			a = dataset.NewNumericAttribute(name)
+		case dataset.Nominal:
+			a = dataset.NewNominalAttribute(name, vals...)
+		case dataset.String:
+			a = dataset.NewStringAttribute(name)
+			for _, s := range vals {
+				if _, err := a.Intern(s); err != nil {
+					return "", 0, nil, errf("attribute %q: %v", name, err)
+				}
+			}
+		}
+		attrs = append(attrs, a)
+	}
+	schemaEnd := r.off
+	if err := r.need(8); err != nil {
+		return "", 0, nil, err
+	}
+	sum := sha256.Sum256(r.buf[start:schemaEnd])
+	for i := 0; i < 8; i++ {
+		if r.buf[schemaEnd+i] != sum[i] {
+			return "", 0, nil, errf("schema digest mismatch: payload corrupt")
+		}
+	}
+	r.off += 8
+	if classIndex >= len(attrs) {
+		return "", 0, nil, errf("class index %d out of range for %d attributes", classIndex, len(attrs))
+	}
+	return relation, classIndex, attrs, nil
+}
+
+// writeColumn appends a length-prefixed float64 block.
+func writeColumn(w *writer, col []float64) {
+	w.u32(uint32(8 * len(col)))
+	for _, v := range col {
+		w.f64(v)
+	}
+}
+
+// readColumn parses a length-prefixed float64 block of exactly rows values.
+func readColumn(r *reader, rows int) ([]float64, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBlockBytes {
+		return nil, errf("column block of %d bytes exceeds limit", n)
+	}
+	if int(n) != 8*rows {
+		return nil, errf("column block is %d bytes, want %d for %d rows", n, 8*rows, rows)
+	}
+	col := make([]float64, rows)
+	for i := range col {
+		col[i], err = r.f64()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+// Marshal encodes the dataset as one dmb1 block. Weights are encoded
+// only when any instance weight differs from 1.
+func Marshal(d *dataset.Dataset) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 64+8*len(d.Instances)*len(d.Attrs))}
+	w.buf = append(w.buf, magicDataset...)
+	w.u8(version)
+
+	weights := d.WeightsSlice()
+	hasWeights := false
+	for _, wt := range weights {
+		if wt != 1 {
+			hasWeights = true
+			break
+		}
+	}
+	flags := uint8(0)
+	if hasWeights {
+		flags |= flagWeights
+	}
+	w.u8(flags)
+
+	if err := writeSchema(w, d.Relation, d.ClassIndex, d.Attrs); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(d.Instances)))
+	for _, col := range d.Columns() {
+		writeColumn(w, col)
+	}
+	if hasWeights {
+		writeColumn(w, weights)
+	}
+	return w.buf, nil
+}
+
+// Unmarshal decodes one dmb1 block into a column-backed dataset. The
+// decoded column slices become the dataset's columnar backing directly;
+// dataset.FromColumns validates nominal indices so corrupt payloads
+// surface as errors, never panics.
+func Unmarshal(b []byte) (*dataset.Dataset, error) {
+	r := &reader{buf: b}
+	if err := r.need(4); err != nil {
+		return nil, err
+	}
+	if string(r.buf[:4]) != magicDataset {
+		return nil, errf("bad magic %q, want %q", r.buf[:4], magicDataset)
+	}
+	r.off = 4
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, errf("unsupported dmb1 version %d", v)
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	relation, classIndex, attrs, err := readSchema(r)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(rows)*uint64(len(attrs))*8 > maxBlockBytes {
+		return nil, errf("%d rows x %d attributes exceeds payload limit", rows, len(attrs))
+	}
+	cols := make([][]float64, len(attrs))
+	for j := range cols {
+		cols[j], err = readColumn(r, int(rows))
+		if err != nil {
+			return nil, errf("attribute %q: %v", attrs[j].Name, err)
+		}
+	}
+	var weights []float64
+	if flags&flagWeights != 0 {
+		weights, err = readColumn(r, int(rows))
+		if err != nil {
+			return nil, errf("weights: %v", err)
+		}
+	}
+	if r.off != len(b) {
+		return nil, errf("%d trailing bytes after payload", len(b)-r.off)
+	}
+	d, err := dataset.FromColumns(relation, attrs, classIndex, cols, weights)
+	if err != nil {
+		return nil, errf("%v", err)
+	}
+	return d, nil
+}
+
+// Result is the decoded form of a DMR1 scoring-response block: one
+// predicted label per input row plus the per-class distribution each
+// prediction was taken from.
+type Result struct {
+	Classes       []string    // class label names, distribution column order
+	Labels        []int       // per-row argmax index into Classes
+	Distributions [][]float64 // Distributions[c][i] = P(class c | row i)
+}
+
+// MarshalResult encodes a scoring result as one DMR1 block:
+//
+//	"DMR1" u8 version
+//	u32 classCount, then classCount length-prefixed names
+//	u32 rows
+//	labels block: u32 byte length, rows u32 indices
+//	per class: length-prefixed float64 column of rows probabilities
+func MarshalResult(res *Result) ([]byte, error) {
+	rows := len(res.Labels)
+	if len(res.Distributions) != len(res.Classes) {
+		return nil, errf("%d distribution columns for %d classes", len(res.Distributions), len(res.Classes))
+	}
+	for c, col := range res.Distributions {
+		if len(col) != rows {
+			return nil, errf("class %d distribution has %d rows, want %d", c, len(col), rows)
+		}
+	}
+	w := &writer{buf: make([]byte, 0, 32+4*rows+8*rows*len(res.Classes))}
+	w.buf = append(w.buf, magicResult...)
+	w.u8(version)
+	w.u32(uint32(len(res.Classes)))
+	for _, name := range res.Classes {
+		w.str(name)
+	}
+	w.u32(uint32(rows))
+	w.u32(uint32(4 * rows))
+	for _, l := range res.Labels {
+		if l < 0 || l >= len(res.Classes) {
+			return nil, errf("label %d out of range for %d classes", l, len(res.Classes))
+		}
+		w.u32(uint32(l))
+	}
+	for _, col := range res.Distributions {
+		writeColumn(w, col)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalResult decodes one DMR1 block.
+func UnmarshalResult(b []byte) (*Result, error) {
+	r := &reader{buf: b}
+	if err := r.need(4); err != nil {
+		return nil, err
+	}
+	if string(r.buf[:4]) != magicResult {
+		return nil, errf("bad magic %q, want %q", r.buf[:4], magicResult)
+	}
+	r.off = 4
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, errf("unsupported dmr1 version %d", v)
+	}
+	classCount, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if classCount > 1<<24 {
+		return nil, errf("class count %d exceeds limit", classCount)
+	}
+	classes := make([]string, 0, classCount)
+	for i := uint32(0); i < classCount; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, s)
+	}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBlockBytes {
+		return nil, errf("label block of %d bytes exceeds limit", n)
+	}
+	if int(n) != 4*int(rows) {
+		return nil, errf("label block is %d bytes, want %d for %d rows", n, 4*rows, rows)
+	}
+	labels := make([]int, rows)
+	for i := range labels {
+		l, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if l >= classCount {
+			return nil, errf("row %d label %d out of range for %d classes", i, l, classCount)
+		}
+		labels[i] = int(l)
+	}
+	dists := make([][]float64, classCount)
+	for c := range dists {
+		dists[c], err = readColumn(r, int(rows))
+		if err != nil {
+			return nil, errf("class %q distribution: %v", classes[c], err)
+		}
+	}
+	if r.off != len(b) {
+		return nil, errf("%d trailing bytes after result", len(b)-r.off)
+	}
+	return &Result{Classes: classes, Labels: labels, Distributions: dists}, nil
+}
+
+// MarshalBase64 encodes the dataset and wraps it in standard base64 for
+// transport as an XML-safe SOAP part.
+func MarshalBase64(d *dataset.Dataset) (string, error) {
+	b, err := Marshal(d)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b), nil
+}
+
+// UnmarshalBase64 decodes a base64-wrapped dmb1 block.
+func UnmarshalBase64(s string) (*dataset.Dataset, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, errf("payload is not valid base64: %v", err)
+	}
+	return Unmarshal(b)
+}
+
+// MarshalResultBase64 encodes a scoring result base64-wrapped.
+func MarshalResultBase64(res *Result) (string, error) {
+	b, err := MarshalResult(res)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b), nil
+}
+
+// UnmarshalResultBase64 decodes a base64-wrapped DMR1 block.
+func UnmarshalResultBase64(s string) (*Result, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, errf("result is not valid base64: %v", err)
+	}
+	return UnmarshalResult(b)
+}

@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// randomDataset builds a random schema and fill for property testing.
+func randomDataset(rng *rand.Rand, rows int) *dataset.Dataset {
+	attrCount := 1 + rng.Intn(6)
+	attrs := make([]*dataset.Attribute, attrCount)
+	for j := range attrs {
+		if rng.Intn(2) == 0 {
+			attrs[j] = dataset.NewNumericAttribute(fmt.Sprintf("num%d", j))
+		} else {
+			labels := make([]string, 2+rng.Intn(4))
+			for l := range labels {
+				labels[l] = fmt.Sprintf("v%d_%d", j, l)
+			}
+			attrs[j] = dataset.NewNominalAttribute(fmt.Sprintf("nom%d", j), labels...)
+		}
+	}
+	classIndex := -1
+	for j, a := range attrs {
+		if a.IsNominal() {
+			classIndex = j
+			break
+		}
+	}
+	cols := make([][]float64, attrCount)
+	for j, a := range attrs {
+		col := make([]float64, rows)
+		for i := range col {
+			switch {
+			case rng.Intn(10) == 0:
+				col[i] = dataset.Missing
+			case a.IsNumeric():
+				col[i] = rng.NormFloat64() * 100
+			default:
+				col[i] = float64(rng.Intn(a.NumValues()))
+			}
+		}
+		cols[j] = col
+	}
+	var weights []float64
+	if rng.Intn(2) == 0 {
+		weights = make([]float64, rows)
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()
+		}
+	}
+	d, err := dataset.FromColumns(fmt.Sprintf("rand-%d", rng.Int()), attrs, classIndex, cols, weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func assertEqualDatasets(t *testing.T, want, got *dataset.Dataset) {
+	t.Helper()
+	if got.Relation != want.Relation {
+		t.Fatalf("relation = %q, want %q", got.Relation, want.Relation)
+	}
+	if got.ClassIndex != want.ClassIndex {
+		t.Fatalf("classIndex = %d, want %d", got.ClassIndex, want.ClassIndex)
+	}
+	if got.NumAttributes() != want.NumAttributes() {
+		t.Fatalf("%d attributes, want %d", got.NumAttributes(), want.NumAttributes())
+	}
+	for j := range want.Attrs {
+		wa, ga := want.Attrs[j], got.Attrs[j]
+		if ga.Name != wa.Name || ga.Kind != wa.Kind || ga.NumValues() != wa.NumValues() {
+			t.Fatalf("attr %d = %s/%v/%d, want %s/%v/%d",
+				j, ga.Name, ga.Kind, ga.NumValues(), wa.Name, wa.Kind, wa.NumValues())
+		}
+		for v := 0; v < wa.NumValues(); v++ {
+			if ga.Value(v) != wa.Value(v) {
+				t.Fatalf("attr %d value %d = %q, want %q", j, v, ga.Value(v), wa.Value(v))
+			}
+		}
+	}
+	if got.NumInstances() != want.NumInstances() {
+		t.Fatalf("%d rows, want %d", got.NumInstances(), want.NumInstances())
+	}
+	for i := range want.Instances {
+		wi, gi := want.Instances[i], got.Instances[i]
+		if gi.Weight != wi.Weight {
+			t.Fatalf("row %d weight = %v, want %v", i, gi.Weight, wi.Weight)
+		}
+		for j := range wi.Values {
+			wv, gv := wi.Values[j], gi.Values[j]
+			if math.IsNaN(wv) != math.IsNaN(gv) || (!math.IsNaN(wv) && wv != gv) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, gv, wv)
+			}
+		}
+	}
+	// The digest is the strongest equality check we have.
+	if dataset.Digest(got) != dataset.Digest(want) {
+		t.Fatal("digest mismatch after round trip")
+	}
+}
+
+func TestRoundTripRandomSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDataset(rng, rng.Intn(40))
+		b, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertEqualDatasets(t, d, got)
+		if !got.HasColumns() {
+			t.Fatal("decoded dataset is not column-backed")
+		}
+	}
+}
+
+func TestRoundTripAllNominal(t *testing.T) {
+	attrs := []*dataset.Attribute{
+		dataset.NewNominalAttribute("a", "x", "y", "z"),
+		dataset.NewNominalAttribute("b", "p", "q"),
+		dataset.NewNominalAttribute("class", "yes", "no"),
+	}
+	cols := [][]float64{{0, 1, 2}, {1, 0, 1}, {0, 0, 1}}
+	d, err := dataset.FromColumns("nominal", attrs, 2, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestRoundTripAllMissing(t *testing.T) {
+	attrs := []*dataset.Attribute{
+		dataset.NewNumericAttribute("x"),
+		dataset.NewNominalAttribute("class", "a", "b"),
+	}
+	cols := [][]float64{
+		{dataset.Missing, dataset.Missing, dataset.Missing},
+		{dataset.Missing, dataset.Missing, dataset.Missing},
+	}
+	d, err := dataset.FromColumns("missing", attrs, 1, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestRoundTripZeroRows(t *testing.T) {
+	d := dataset.New("empty",
+		dataset.NewNumericAttribute("x"),
+		dataset.NewNominalAttribute("class", "a", "b"))
+	d.ClassIndex = 1
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestRoundTripOver64kRows(t *testing.T) {
+	const rows = 65537 // crosses the u16 boundary a naive codec would trip on
+	cols := [][]float64{make([]float64, rows), make([]float64, rows)}
+	for i := 0; i < rows; i++ {
+		cols[0][i] = float64(i)
+		cols[1][i] = float64(i % 2)
+	}
+	attrs := []*dataset.Attribute{
+		dataset.NewNumericAttribute("x"),
+		dataset.NewNominalAttribute("class", "a", "b"),
+	}
+	d, err := dataset.FromColumns("big", attrs, 1, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumInstances() != rows {
+		t.Fatalf("decoded %d rows, want %d", got.NumInstances(), rows)
+	}
+	if got.Instances[65536].Values[0] != 65536 {
+		t.Fatalf("row 65536 = %v", got.Instances[65536].Values)
+	}
+}
+
+func TestRoundTripBase64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randomDataset(rng, 10)
+	s, err := MarshalBase64(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBase64(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+
+	if _, err := UnmarshalBase64("!!!not base64!!!"); err == nil {
+		t.Fatal("no error for invalid base64")
+	}
+}
+
+// TestTruncationAtEveryPrefix asserts every proper prefix of a valid
+// payload is rejected with a FormatError and never panics.
+func TestTruncationAtEveryPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDataset(rng, 8)
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := Unmarshal(b[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(b))
+		}
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDataset(rng, 4)
+	valid, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), valid...)
+		mutate(b)
+		_, err := Unmarshal(b)
+		return err
+	}
+
+	if err := corrupt(func(b []byte) { b[0] = 'X' }); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	if err := corrupt(func(b []byte) { b[4] = 99 }); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// Flip one byte inside the relation string: schema digest must catch it.
+	if err := corrupt(func(b []byte) { b[10] ^= 0xFF }); err == nil {
+		t.Error("corrupt schema accepted despite digest")
+	}
+	// Trailing garbage must be rejected.
+	if _, err := Unmarshal(append(append([]byte(nil), valid...), 0xDE, 0xAD)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCorruptNominalIndexRejected(t *testing.T) {
+	attrs := []*dataset.Attribute{dataset.NewNominalAttribute("class", "a", "b")}
+	cols := [][]float64{{0, 1}}
+	d, err := dataset.FromColumns("t", attrs, 0, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the last cell (final 8 bytes) with an out-of-range index.
+	bits := math.Float64bits(7)
+	for i := 0; i < 8; i++ {
+		b[len(b)-8+i] = byte(bits >> (8 * i))
+	}
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("out-of-range nominal index accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := &Result{
+		Classes: []string{"yes", "no", "maybe"},
+		Labels:  []int{0, 2, 1, 0},
+		Distributions: [][]float64{
+			{0.7, 0.1, 0.2, 0.9},
+			{0.2, 0.2, 0.5, 0.05},
+			{0.1, 0.7, 0.3, 0.05},
+		},
+	}
+	b, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != 3 || got.Classes[2] != "maybe" {
+		t.Fatalf("classes = %v", got.Classes)
+	}
+	for i, l := range res.Labels {
+		if got.Labels[i] != l {
+			t.Fatalf("label %d = %d, want %d", i, got.Labels[i], l)
+		}
+	}
+	for c := range res.Distributions {
+		for i := range res.Distributions[c] {
+			if got.Distributions[c][i] != res.Distributions[c][i] {
+				t.Fatalf("dist (%d,%d) = %v, want %v",
+					c, i, got.Distributions[c][i], res.Distributions[c][i])
+			}
+		}
+	}
+
+	// Truncation sweep on the result block too.
+	for n := 0; n < len(b); n++ {
+		if _, err := UnmarshalResult(b[:n]); err == nil {
+			t.Fatalf("result prefix of %d/%d bytes decoded without error", n, len(b))
+		}
+	}
+}
+
+func TestResultValidation(t *testing.T) {
+	if _, err := MarshalResult(&Result{
+		Classes:       []string{"a"},
+		Labels:        []int{2},
+		Distributions: [][]float64{{1}},
+	}); err == nil {
+		t.Error("out-of-range label marshalled")
+	}
+	if _, err := MarshalResult(&Result{
+		Classes:       []string{"a", "b"},
+		Labels:        []int{0},
+		Distributions: [][]float64{{1}},
+	}); err == nil {
+		t.Error("class/distribution count mismatch marshalled")
+	}
+	if _, err := MarshalResult(&Result{
+		Classes:       []string{"a"},
+		Labels:        []int{0, 0},
+		Distributions: [][]float64{{1}},
+	}); err == nil {
+		t.Error("ragged distribution marshalled")
+	}
+}
+
+func TestFormatErrorType(t *testing.T) {
+	_, err := Unmarshal([]byte("nope"))
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if _, ok := err.(*FormatError); !ok {
+		t.Fatalf("error type %T, want *FormatError", err)
+	}
+}
+
+func BenchmarkMarshal1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := randomDataset(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := randomDataset(rng, 1024)
+	buf, err := Marshal(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,7 +16,10 @@
 # model store: two dmservers share a -store-dir behind a registry, a
 # session trained on one replica is SIGKILLed away, and the next classify
 # must resume warm on the survivor — snapshot restored from the store,
-# zero retrains. Run from the repo root.
+# zero retrains. Phase 6 covers batched binary scoring: a 1024-row dmb1
+# payload through one Session classifyBatch call, with the decoded dmr1
+# reply and the batch_rows_total / batch_decode_ms metrics asserted.
+# Run from the repo root.
 set -eu
 
 WORK=$(mktemp -d)
@@ -453,4 +456,60 @@ if grep -Eq '"harness_builds_total[^"]*": *[1-9]' "$WORK/storeB-metrics.json"; t
 fi
 
 echo "smoke: phase 5 ok (token resumed on survivor, store hit, zero retrains)"
+
+# ---------------------------------------------------------------------------
+# Phase 6: batched binary scoring. A 1024-row dmb1 payload (the embedded
+# breast-cancer rows tiled to batch size) goes through the phase-1
+# dmserver's Session service in ONE classifyBatch call: train a session,
+# ship the block, get a dmr1 result block back. The reply must carry all
+# 1024 labels (decoded and counted with dminfo -decode-dmb1), and the
+# server's /metrics must show the batch path ran: batch_rows_total
+# counts the decoded rows, batch_decode_ms timed the wire decode.
+"$WORK/dminfo" -embedded breast-cancer -tile 1024 -dmb1 >"$WORK/payload.b64"
+
+"$WORK/dmclient" -url "$BASE/services/Session" -op createSession \
+	-timeout 30s -file "dataset=$WORK/breast.arff" \
+	-part classifier=J48 -part attribute=Class >"$WORK/sess6.out" 2>"$WORK/sess6.err" || {
+	echo "smoke: phase-6 createSession failed" >&2
+	cat "$WORK/sess6.out" "$WORK/sess6.err" >&2
+	exit 1
+}
+TOKEN6=$(sed -n '/^=== session ===$/{n;p;}' "$WORK/sess6.out")
+
+"$WORK/dmclient" -url "$BASE/services/Session" -op classifyBatch \
+	-timeout 30s -part "session=$TOKEN6" -part encoding=dmb1 \
+	-file "payload=$WORK/payload.b64" >"$WORK/batch6.out" 2>"$WORK/batch6.err" || {
+	echo "smoke: classifyBatch failed" >&2
+	cat "$WORK/batch6.out" "$WORK/batch6.err" >&2
+	exit 1
+}
+rows=$(sed -n '/^=== rows ===$/{n;p;}' "$WORK/batch6.out")
+if [ "$rows" != 1024 ]; then
+	echo "smoke: classifyBatch returned rows=$rows, want 1024" >&2
+	cat "$WORK/batch6.out" >&2
+	exit 1
+fi
+# The result payload must decode as a dmr1 block carrying 1024 labels.
+sed -n '/^=== payload ===$/{n;p;}' "$WORK/batch6.out" >"$WORK/result.b64"
+"$WORK/dminfo" -decode-dmb1 "$WORK/result.b64" >"$WORK/result.txt"
+if ! grep -q "dmr1 result block: .* 1024 row(s)" "$WORK/result.txt"; then
+	echo "smoke: result block did not decode to 1024 rows" >&2
+	cat "$WORK/result.txt" >&2
+	exit 1
+fi
+
+curl -fsS "$BASE/metrics" >"$WORK/batch-metrics.json"
+rowsTotal=$(sed -n 's/.*"batch_rows_total{op=classifyBatch}": *\([0-9]*\).*/\1/p' "$WORK/batch-metrics.json" | head -1)
+if [ -z "$rowsTotal" ] || [ "$rowsTotal" -lt 1024 ]; then
+	echo "smoke: batch_rows_total=$rowsTotal, want >= 1024" >&2
+	cat "$WORK/batch-metrics.json" >&2
+	exit 1
+fi
+if ! grep -q '"batch_decode_ms{op=classifyBatch}' "$WORK/batch-metrics.json"; then
+	echo "smoke: no batch_decode_ms histogram after classifyBatch" >&2
+	cat "$WORK/batch-metrics.json" >&2
+	exit 1
+fi
+
+echo "smoke: phase 6 ok (1024-row dmb1 batch scored in one call, metrics observed)"
 echo "smoke: ok"

@@ -3,8 +3,8 @@
 # finding), tests (including the admission goroutine-leak check and the
 # registry sweep races under -race), then the end-to-end smoke: live
 # dmserver probes, traced dmexp batch, chaos failover, the admission
-# flood + graceful-drain drill, and the model-store replica-failover
-# drill. Run from the repo root.
+# flood + graceful-drain drill, the model-store replica-failover drill,
+# and the 1024-row dmb1 classifyBatch drill. Run from the repo root.
 set -eux
 
 unformatted=$(gofmt -l .)
@@ -41,5 +41,11 @@ go test -race -run 'Parallel|ForEach|Cancellation' \
 # Put/Get, and the two-replica session-resume paths must hold when store
 # and harness access actually interleaves.
 go test -race ./internal/store/ ./internal/harness/ ./internal/services/
+
+# The batched scoring path gets its own -race pass: the dmb1 codec's
+# property/truncation tests and the dataset package's lazy column cache
+# (built on first access, invalidated by row mutation) must hold under
+# the race detector.
+go test -race ./internal/wire/ ./internal/dataset/
 
 ./scripts/smoke.sh

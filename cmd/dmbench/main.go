@@ -196,6 +196,15 @@ func main() {
 	report("—", "Model store (internal/store)",
 		"resume-from-snapshot must beat retraining for the store to pay for itself",
 		strings.Join(storeLines, "; "))
+
+	// Store GC: compaction throughput and reclaim on a half-dead store.
+	gcRes := storeGCExperiment()
+	pr.StoreGC = &gcRes
+	report("—", "Store GC (Compact)",
+		"a churned store accumulates superseded and tombstoned records; compaction must reclaim them faster than the workload creates them",
+		fmt.Sprintf("%d entries, %.0f%% dead: %d -> %d bytes (reclaimed %d) in %.1f ms, %.0f MB/s rewrite",
+			gcRes.Entries, gcRes.DeadFraction*100, gcRes.BytesBefore, gcRes.BytesAfter,
+			gcRes.ReclaimedBytes, gcRes.CompactMs, gcRes.ThroughputMBs))
 	if *parallelOut != "" {
 		raw, err := json.MarshalIndent(pr, "", "  ")
 		if err != nil {
@@ -245,6 +254,18 @@ type batchResult struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// storeGCResult is the store_gc section of the report: what one forced
+// compaction of a half-dead store costs and reclaims.
+type storeGCResult struct {
+	Entries        int     `json:"entries"`
+	DeadFraction   float64 `json:"deadFraction"`
+	BytesBefore    int64   `json:"bytesBefore"`
+	BytesAfter     int64   `json:"bytesAfter"`
+	ReclaimedBytes int64   `json:"reclaimedBytes"`
+	CompactMs      float64 `json:"compactMs"`
+	ThroughputMBs  float64 `json:"throughputMBs"`
+}
+
 // parallelReport is the BENCH_parallel.json document.
 type parallelReport struct {
 	GoMaxProcs int            `json:"goMaxProcs"`
@@ -252,6 +273,7 @@ type parallelReport struct {
 	Kernels    []kernelResult `json:"kernels"`
 	Batch      []batchResult  `json:"batch,omitempty"`
 	Store      []storeResult  `json:"store,omitempty"`
+	StoreGC    *storeGCResult `json:"store_gc,omitempty"`
 }
 
 // parallelExperiment times the three headline kernels (cross-validation
@@ -500,6 +522,59 @@ func contains(xs []string, v string) bool {
 		}
 	}
 	return false
+}
+
+// storeGCExperiment builds a store where half the indexed bytes are
+// dead — the steady state of a deployment that retrains and supersedes
+// models under churn — and times one forced Compact: how many bytes come
+// back, and at what rewrite throughput.
+func storeGCExperiment() storeGCResult {
+	dir, err := os.MkdirTemp("", "dmbench-gc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	const entries = 256
+	const blobSize = 32 << 10
+	rng := rand.New(rand.NewSource(7))
+	blob := make([]byte, blobSize)
+	keys := make([]string, entries)
+	for i := range keys {
+		rng.Read(blob)
+		keys[i] = store.Key("J48", map[string]string{"i": fmt.Sprint(i)}, "dmbench-gc", "")
+		if err := st.Put(keys[i], store.Meta{Algorithm: "J48", Kind: "classifier"}, blob); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Tombstone every other entry: ~half the store goes dead.
+	for i := 0; i < entries; i += 2 {
+		if err := st.Delete(keys[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := st.Bytes()
+	deadFrac := float64(st.DeadBytes()) / float64(before)
+	began := time.Now()
+	cs, err := st.Compact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms := float64(time.Since(began).Microseconds()) / 1e3
+	return storeGCResult{
+		Entries:        entries,
+		DeadFraction:   deadFrac,
+		BytesBefore:    cs.BytesBefore,
+		BytesAfter:     cs.BytesAfter,
+		ReclaimedBytes: cs.ReclaimedBytes,
+		CompactMs:      ms,
+		ThroughputMBs:  float64(cs.BytesBefore) / (1 << 20) / (ms / 1e3),
+	}
 }
 
 // invocationExperiment measures ns/invocation for both §4.5 backends.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -62,7 +63,25 @@ func main() {
 		}
 		defer s.Close()
 		entries := s.List()
-		fmt.Printf("Model store %s: %d snapshot(s), %d byte(s)\n", s.Dir(), len(entries), s.Bytes())
+		fmt.Printf("Model store %s: %d snapshot(s), generation %d\n", s.Dir(), len(entries), s.Generation())
+		fmt.Printf("  bytes: %d indexed = %d live + %d dead (GC-reclaimable)\n",
+			s.Bytes(), s.LiveBytes(), s.DeadBytes())
+		byAlgo := map[string]int{}
+		for _, e := range entries {
+			name := e.Meta.Algorithm
+			if name == "" {
+				name = "(unknown)"
+			}
+			byAlgo[name]++
+		}
+		algos := make([]string, 0, len(byAlgo))
+		for name := range byAlgo {
+			algos = append(algos, name)
+		}
+		sort.Strings(algos)
+		for _, name := range algos {
+			fmt.Printf("  %-22s %d snapshot(s)\n", name, byAlgo[name])
+		}
 		for _, e := range entries {
 			created := "-"
 			if e.Meta.Created > 0 {

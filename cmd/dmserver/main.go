@@ -7,6 +7,8 @@
 //
 //	dmserver [-addr 127.0.0.1:8334] [-backend cached|serialising] [-cache 64] [-store DIR]
 //	         [-store-dir DIR]
+//	         [-store-gc-interval 30s] [-store-gc-max-dead-bytes N]
+//	         [-store-gc-max-dead-frac 0.5] [-store-gc-max-age 24h]
 //	         [-publish URL] [-heartbeat 5s] [-ttl 15s]
 //	         [-max-inflight 64] [-queue 128] [-drain-grace 10s]
 //	         [-chaos 'fault=0.3;op=classifyInstance,latency=200ms'] [-chaos-seed 1] [-chaos-header]
@@ -26,6 +28,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -35,6 +38,10 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "instance pool bound for the cached backend")
 	storeDir := flag.String("store", "", "model store directory (default: a temp dir; required meaningfully for -backend serialising)")
 	durableDir := flag.String("store-dir", "", "content-addressed model store directory for the cached backend; share it between replicas to make session tokens resumable on any of them")
+	gcInterval := flag.Duration("store-gc-interval", 0, "sweep the model store for compaction at this interval (0 = no background GC; needs -store-dir and at least one -store-gc-max-* bound)")
+	gcMaxDeadBytes := flag.Int64("store-gc-max-dead-bytes", 0, "compact once superseded/tombstoned bytes exceed this (0 = no byte bound)")
+	gcMaxDeadFrac := flag.Float64("store-gc-max-dead-frac", 0, "compact once the dead fraction of indexed bytes exceeds this (0 = no fraction bound)")
+	gcMaxAge := flag.Duration("store-gc-max-age", 0, "retire stored models older than this during compaction (0 = keep forever)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	publishURL := flag.String("publish", "", "external registry base URL to publish this host's services to (e.g. http://127.0.0.1:8335)")
 	heartbeat := flag.Duration("heartbeat", 0, "re-publish services at this interval (0 = publish once at startup)")
@@ -84,6 +91,17 @@ func main() {
 			log.Fatalf("dmserver: -store-dir requires -backend cached")
 		}
 		opts = append(opts, core.WithModelStore(*durableDir))
+	}
+	if *gcInterval > 0 {
+		if *durableDir == "" {
+			log.Fatalf("dmserver: -store-gc-interval requires -store-dir")
+		}
+		pol := store.GCPolicy{
+			MaxDeadBytes:    *gcMaxDeadBytes,
+			MaxDeadFraction: *gcMaxDeadFrac,
+			MaxAge:          *gcMaxAge,
+		}
+		opts = append(opts, core.WithStoreGC(*gcInterval, pol))
 	}
 	if *chaosRules != "" {
 		rules, err := chaos.ParseRules(*chaosRules)

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func TestSummarizeQuantiles(t *testing.T) {
+	if q := summarize(nil); q.Count != 0 || q.Max != 0 {
+		t.Fatalf("empty samples: %+v", q)
+	}
+	// 1..1000 ms: nearest-rank quantiles are exact.
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+	q := summarize(samples)
+	if q.Count != 1000 {
+		t.Fatalf("count = %d", q.Count)
+	}
+	if q.P50 != 500 || q.P99 != 990 || q.P999 != 999 || q.Max != 1000 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+	if !(q.P50 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+		t.Fatalf("quantiles not monotone: %+v", q)
+	}
+	// A single sample lands everywhere.
+	q = summarize([]float64{7})
+	if q.P50 != 7 || q.P999 != 7 || q.Max != 7 {
+		t.Fatalf("single sample: %+v", q)
+	}
+}
+
+// TestReportJSONKeys pins the key names scripts/smoke.sh and verify.sh
+// grep for: a rename here silently breaks the churn phase's assertions.
+func TestReportJSONKeys(t *testing.T) {
+	var rep report
+	rep.Config = parseFlags([]string{"-short"})
+	rep.Churn.Kills = 2
+	rep.GC.ReclaimedBytes = 4096
+	rep.LatencyMS = map[string]quantiles{"all": summarize([]float64{1, 2, 3})}
+	js, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"failed": 0`, `"kills": 2`, `"reclaimed_bytes": 4096`,
+		`"hit_ratio"`, `"p99_ms"`, `"p999_ms"`, `"error_budget_ok"`,
+	} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("report JSON lost %q:\n%s", want, js)
+		}
+	}
+	var back report
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Churn.Kills != 2 || back.GC.ReclaimedBytes != 4096 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+}
+
+// TestPickSlotDeterministic: same seed, same victim sequence — the
+// property that makes a soak run reproducible.
+func TestPickSlotDeterministic(t *testing.T) {
+	seq := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]int, 32)
+		for i := range out {
+			out[i] = pickSlot(rng, 3)
+			if out[i] < 0 || out[i] > 2 {
+				t.Fatalf("slot out of range: %d", out[i])
+			}
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestScraperSumsAcrossIncarnations(t *testing.T) {
+	sc := newScraper()
+	sc.last["0:0"] = map[string]int64{"store_hits_total": 5, "store_gc_runs_total": 1}
+	sc.last["0:1"] = map[string]int64{"store_hits_total": 3}
+	sc.last["1:0"] = map[string]int64{"store_hits_total": 2, "store_gc_runs_total": 2}
+	if got := sc.total("store_hits_total"); got != 10 {
+		t.Fatalf("hits = %d, want 10 (summed across incarnations)", got)
+	}
+	if got := sc.total("store_gc_runs_total"); got != 3 {
+		t.Fatalf("gc runs = %d, want 3", got)
+	}
+	if got := sc.total("no_such_counter"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+// TestShortModeShape pins the CI shape so verify.sh's runtime stays
+// bounded.
+func TestShortModeShape(t *testing.T) {
+	cfg := parseFlags([]string{"-short"})
+	if cfg.Replicas != 2 || cfg.Workers != 2 {
+		t.Fatalf("short shape: %+v", cfg)
+	}
+	if cfg.Duration > 10*time.Second {
+		t.Fatalf("short duration too long for CI: %s", cfg.Duration)
+	}
+	if cfg.KillEvery >= cfg.Duration {
+		t.Fatalf("short mode never kills: kill-every %s >= duration %s", cfg.KillEvery, cfg.Duration)
+	}
+}
+
+// TestKeyForDisjointFromSession: the retention worker deletes every
+// non-IBk model; the session family must therefore never collide with a
+// train-family key, whatever the digests do.
+func TestKeyForDisjointFromSession(t *testing.T) {
+	session := keyFor(core.TrainOptions{Dataset: datagen.BreastCancer(), Classifier: "IBk"})
+	seen := map[string]bool{session: true}
+	for _, o := range []core.TrainOptions{
+		{Dataset: datagen.Weather(), Classifier: "J48"},
+		{Dataset: datagen.Weather(), Classifier: "NaiveBayes"},
+		{Dataset: datagen.ContactLenses(), Classifier: "J48"},
+		{Dataset: datagen.WeatherNumeric(), Classifier: "NaiveBayes"},
+	} {
+		k := keyFor(o)
+		if seen[k] {
+			t.Fatalf("key collision for %s on %s", o.Classifier, o.Dataset.Relation)
+		}
+		seen[k] = true
+	}
+}

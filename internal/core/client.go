@@ -193,11 +193,17 @@ func (c *Client) CrossValidate(ctx context.Context, o TrainOptions, folds, seed 
 // CreateSession trains once and mints a replica-portable session token
 // for interactive use.
 func (c *Client) CreateSession(ctx context.Context, o TrainOptions) (string, error) {
+	return c.CreateSessionAt(ctx, c.Endpoint("Session"), o)
+}
+
+// CreateSessionAt is CreateSession against an explicit Session-service
+// endpoint, for callers spreading work over their own endpoint pools.
+func (c *Client) CreateSessionAt(ctx context.Context, endpoint string, o TrainOptions) (string, error) {
 	parts, err := o.parts()
 	if err != nil {
 		return "", err
 	}
-	out, err := c.call(ctx, c.Endpoint("Session"), "createSession", parts)
+	out, err := c.call(ctx, endpoint, "createSession", parts)
 	if err != nil {
 		return "", err
 	}
@@ -219,7 +225,14 @@ func (c *Client) CloseSession(ctx context.Context, token string) error {
 // path: one ARFF document in, newline-separated label names out. For
 // high-throughput scoring use ClassifyBatch.
 func (c *Client) Classify(ctx context.Context, token string, d *dataset.Dataset) ([]string, error) {
-	out, err := c.call(ctx, c.Endpoint("Session"), "classify", map[string]string{
+	return c.ClassifyAt(ctx, c.Endpoint("Session"), token, d)
+}
+
+// ClassifyAt is Classify against an explicit Session-service endpoint.
+// Session tokens are replica-portable, so the endpoint may be any
+// replica sharing the model store — not just the one that trained.
+func (c *Client) ClassifyAt(ctx context.Context, endpoint, token string, d *dataset.Dataset) ([]string, error) {
+	out, err := c.call(ctx, endpoint, "classify", map[string]string{
 		services.PartSession:   token,
 		services.PartInstances: arff.Format(d),
 	})
@@ -245,11 +258,17 @@ type Label struct {
 // single invocation, and the DMR1 reply carries every label plus its
 // per-class distribution.
 func (c *Client) ClassifyBatch(ctx context.Context, token string, v *dataset.View) ([]Label, error) {
+	return c.ClassifyBatchAt(ctx, c.Endpoint("Session"), token, v)
+}
+
+// ClassifyBatchAt is ClassifyBatch against an explicit Session-service
+// endpoint, for callers running their own endpoint pools.
+func (c *Client) ClassifyBatchAt(ctx context.Context, endpoint, token string, v *dataset.View) ([]Label, error) {
 	payload, n, err := marshalView(v)
 	if err != nil {
 		return nil, err
 	}
-	out, err := c.call(ctx, c.Endpoint("Session"), "classifyBatch", map[string]string{
+	out, err := c.call(ctx, endpoint, "classifyBatch", map[string]string{
 		services.PartSession:  token,
 		services.PartPayload:  payload,
 		services.PartEncoding: wire.Encoding,

@@ -44,6 +44,8 @@ type Deployment struct {
 	stopErr    error
 	stopBeat   chan struct{}
 	beatDone   chan struct{}
+	stopGC     chan struct{}
+	gcDone     chan struct{}
 	extClient  *registry.Client
 }
 
@@ -56,6 +58,8 @@ type deployConfig struct {
 	admission   admission.Config
 	drainGrace  time.Duration
 	storeDir    string
+	gcInterval  time.Duration
+	gcPolicy    store.GCPolicy
 }
 
 // Option configures a Deployment.
@@ -111,6 +115,17 @@ func WithDrainGrace(d time.Duration) Option {
 // (the default); other backends ignore the store.
 func WithModelStore(dir string) Option {
 	return func(c *deployConfig) { c.storeDir = dir }
+}
+
+// WithStoreGC runs a background garbage-collection sweep over the model
+// store every interval: when the policy says the store owes a compaction
+// (dead bytes, dead fraction, or record age), the sweep rewrites live
+// records into fresh segments and reclaims the rest. Sweeps that find
+// another replica compacting skip the tick instead of blocking. Requires
+// WithModelStore; a zero interval or a never-triggering policy disables
+// the sweep.
+func WithStoreGC(interval time.Duration, pol store.GCPolicy) Option {
+	return func(c *deployConfig) { c.gcInterval = interval; c.gcPolicy = pol }
 }
 
 // Deploy starts all toolkit services on addr (use "127.0.0.1:0" for an
@@ -220,7 +235,40 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 		d.beatDone = make(chan struct{})
 		go d.heartbeatLoop(cfg.heartbeat)
 	}
+	if modelStore != nil && cfg.gcInterval > 0 {
+		d.stopGC = make(chan struct{})
+		d.gcDone = make(chan struct{})
+		go d.storeGCLoop(cfg.gcInterval, cfg.gcPolicy)
+	}
 	return d, nil
+}
+
+// storeGCLoop is the background retention sweep started by WithStoreGC.
+func (d *Deployment) storeGCLoop(interval time.Duration, pol store.GCPolicy) {
+	defer close(d.gcDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopGC:
+			return
+		case <-ticker.C:
+			st, ran, err := d.modelStore.MaybeCompact(pol)
+			if err != nil {
+				coreLog.Warn(nil, "store_gc_failed", "err", err)
+				obs.Default.Counter("core_store_gc_errors_total").Inc()
+				continue
+			}
+			if ran {
+				coreLog.Info(nil, "store_gc_compacted",
+					"generation", st.Generation,
+					"reclaimed_bytes", st.ReclaimedBytes,
+					"live_records", st.LiveRecords,
+					"expired", st.ExpiredRecords,
+					"ms", st.Duration.Milliseconds())
+			}
+		}
+	}
 }
 
 // entryFor builds the registry entry of a hosted service.
@@ -313,6 +361,10 @@ func (d *Deployment) Close() error {
 		if d.stopBeat != nil {
 			close(d.stopBeat)
 			<-d.beatDone
+		}
+		if d.stopGC != nil {
+			close(d.stopGC)
+			<-d.gcDone
 		}
 		withdrawCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		for _, e := range d.entries {

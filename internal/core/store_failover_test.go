@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/harness"
 	"repro/internal/soap"
+	"repro/internal/store"
 )
 
 // TestSessionFailoverAcrossReplicas is the kill-a-replica drill end to
@@ -95,6 +96,98 @@ func TestSessionFailoverAcrossReplicas(t *testing.T) {
 	if _, err := soap.CallContext(context.Background(), b.EndpointURL("Session"), "getModel",
 		map[string]string{"session": token}); err == nil {
 		t.Fatal("closed session still usable on replica B")
+	}
+}
+
+// TestSessionSurvivesCompactionAndFailover layers store GC on the
+// failover drill: replica A trains a session and another process (here: a
+// separate store handle) compacts the shared directory out from under the
+// serving replicas. A — whose in-memory offsets now point at deleted
+// segments — must keep serving through its memory tier, a restarted
+// replica B must restore the session from the compacted generation with
+// zero retrains, and new training must land in the new generation.
+func TestSessionSurvivesCompactionAndFailover(t *testing.T) {
+	storeDir := t.TempDir()
+
+	backendA := harness.NewCachedBackend(16)
+	a, err := Deploy("127.0.0.1:0", backendA, WithModelStore(storeDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := datagen.BreastCancer()
+	out, err := soap.CallContext(context.Background(), a.EndpointURL("Session"), "createSession",
+		map[string]string{
+			"dataset":    arff.Format(full.Clone()),
+			"classifier": "J48",
+			"attribute":  "Class",
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := out["session"]
+	unlabelled := full.Clone()
+	for _, in := range unlabelled.Instances {
+		in.Values[unlabelled.ClassIndex] = dataset.Missing
+	}
+	want, err := soap.CallContext(context.Background(), a.EndpointURL("Session"), "classify",
+		map[string]string{"session": token, "instances": arff.Format(unlabelled)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An operator process compacts the shared directory while A serves.
+	gc, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	gc.Close()
+
+	// A's next classify must still answer — its store handle adopts the
+	// new generation if the memory tier ever misses.
+	got, err := soap.CallContext(context.Background(), a.EndpointURL("Session"), "classify",
+		map[string]string{"session": token, "instances": arff.Format(unlabelled)})
+	if err != nil {
+		t.Fatalf("classify on A after concurrent compaction: %v", err)
+	}
+	if got["labels"] != want["labels"] {
+		t.Fatal("labels changed after compaction on A")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh replica restores the session from the compacted store.
+	backendB := harness.NewCachedBackend(16)
+	b, err := Deploy("127.0.0.1:0", backendB, WithModelStore(storeDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err = soap.CallContext(context.Background(), b.EndpointURL("Session"), "classify",
+		map[string]string{"session": token, "instances": arff.Format(unlabelled)})
+	if err != nil {
+		t.Fatalf("resume on B from compacted store: %v", err)
+	}
+	if got["labels"] != want["labels"] {
+		t.Fatal("restored-from-compaction labels differ")
+	}
+	if backendB.Builds() != 0 {
+		t.Fatalf("replica B retrained %d times, want 0", backendB.Builds())
+	}
+	if gen := b.ModelStore().Generation(); gen != 1 {
+		t.Fatalf("replica B generation = %d, want 1", gen)
+	}
+	// New work lands in the new generation.
+	if _, err := soap.CallContext(context.Background(), b.EndpointURL("Classifier"), "classifyInstance",
+		map[string]string{
+			"dataset":    arff.Format(datagen.WeatherNumeric()),
+			"classifier": "NaiveBayes",
+			"attribute":  "play",
+		}); err != nil {
+		t.Fatalf("post-compaction training on B: %v", err)
 	}
 }
 

@@ -241,7 +241,6 @@ func (p *Pool) Do(ctx context.Context, pol *Policy, fn func(ctx context.Context,
 	attempts := pol.Attempts()
 	var lastEp string
 	var lastErr error
-	refreshed := false
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if ctx.Err() != nil {
 			if lastErr == nil {
@@ -257,10 +256,11 @@ func (p *Pool) Do(ctx context.Context, pol *Policy, fn func(ctx context.Context,
 		ep, pickErr := p.Pick(skip...)
 		if pickErr != nil {
 			lastErr = pickErr
-			if !refreshed {
-				refreshed = true
-				_ = p.Refresh(ctx)
-			}
+			// Re-pull the source on every failed pick, not just the first:
+			// under replica churn a restarted server re-registers between
+			// attempts, and a pool that only refreshed once stays blind to
+			// it for the rest of the call.
+			_ = p.Refresh(ctx)
 		} else {
 			err := fn(ctx, ep)
 			p.Record(ep, err)

@@ -24,6 +24,11 @@
 // touching bytes another live writer may still be appending. Writers
 // never share a segment: each open store appends to its own uniquely
 // named segment, so N replicas can Put concurrently into one directory.
+//
+// Space is reclaimed out of band: Delete appends a tombstone record,
+// superseded same-key duplicates and tombstones are tracked as dead
+// bytes, and Compact (see compact.go) rewrites the live records into
+// fresh segments under a crash-safe, multi-process-coordinated swap.
 package store
 
 import (
@@ -40,6 +45,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -70,6 +76,8 @@ type Meta struct {
 	Kind string `json:"kind,omitempty"`
 	// Created is the unix-seconds timestamp of the first Put.
 	Created int64 `json:"created,omitempty"`
+	// Deleted marks a tombstone record written by Delete.
+	Deleted bool `json:"deleted,omitempty"`
 }
 
 // Entry is one indexed artifact.
@@ -92,6 +100,7 @@ type indexLine struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Kind      string `json:"kind,omitempty"`
 	Created   int64  `json:"created,omitempty"`
+	Del       bool   `json:"del,omitempty"`
 }
 
 // Stats are per-open-store counters (process-local, unlike the shared obs
@@ -103,6 +112,10 @@ type Stats struct {
 	DupPuts   int64 // content-addressed no-ops (key already stored)
 	Recovered int64 // records re-indexed from segment scans at Open
 	Dropped   int64 // torn/invalid index entries discarded at Open
+	Deletes   int64 // tombstones written by this store
+	Supersede int64 // records another record or tombstone made dead
+	GenResets int64 // times this store adopted a new compaction generation
+	Compacted int64 // compactions this store committed
 }
 
 // Option configures an Open.
@@ -131,15 +144,21 @@ type Store struct {
 	obs        *obs.Registry
 
 	mu         sync.Mutex
+	gen        int64    // compaction generation adopted from CURRENT
+	idxName    string   // live index file for this generation
+	lockF      *os.File // flock target shared by every process on dir
 	index      map[string]*Entry
-	order      []string // insertion order of keys, for List
+	order      []string         // insertion order of keys, for List
+	tombstoned map[string]bool  // keys currently deleted
+	tombSeen   map[string]int64 // tombstone "seg:off" -> record end, for replay dedupe
 	readers    map[string]*os.File
 	idxF       *os.File // O_APPEND handle for writes
-	idxOff     int64    // bytes of index.jsonl already consumed
+	idxOff     int64    // bytes of the index file already consumed
 	active     *os.File // this store's own segment (lazily created)
 	activeName string
 	activeSize int64
-	bytes      int64
+	bytes      int64 // indexed record bytes, live + dead
+	deadBytes  int64 // superseded records + tombstones and their victims
 	stats      Stats
 }
 
@@ -147,6 +166,8 @@ type Store struct {
 // index from disk: torn index lines are skipped, entries pointing past a
 // segment's recovered tail are dropped, and complete records the index
 // missed (a crash between segment fsync and index fsync) are re-indexed.
+// When no other store has dir open, Open also finishes or rolls back any
+// compaction a SIGKILL interrupted (see the janitor in compact.go).
 func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -155,29 +176,63 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		dir:        dir,
 		maxSegment: DefaultMaxSegmentBytes,
 		index:      map[string]*Entry{},
+		tombstoned: map[string]bool{},
+		tombSeen:   map[string]int64{},
 		readers:    map[string]*os.File{},
 	}
 	for _, o := range opts {
 		o(s)
 	}
-	idxF, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	lockF, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s.idxF = idxF
-	if err := s.refreshLocked(); err != nil {
-		idxF.Close()
+	s.lockF = lockF
+	fail := func(err error) (*Store, error) {
+		if s.idxF != nil {
+			s.idxF.Close()
+		}
+		lockF.Close()
 		return nil, err
 	}
+	// With the directory exclusively ours, clean up after any compaction
+	// that died mid-flight. If someone else holds the lock a compactor or
+	// writer is alive — the state is consistent and needs no janitor.
+	if ok, err := s.flockTry(syscall.LOCK_EX); err != nil {
+		return fail(err)
+	} else if ok {
+		if err := s.janitor(); err != nil {
+			s.funlock()
+			return fail(err)
+		}
+		s.funlock()
+	}
+	// Recover under the shared lock so no compaction swaps files mid-scan.
+	if err := s.flock(syscall.LOCK_SH); err != nil {
+		return fail(err)
+	}
+	defer s.funlock()
+	gen, idxName, err := readCurrent(dir)
+	if err != nil {
+		return fail(err)
+	}
+	s.gen, s.idxName = gen, idxName
+	idxF, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	s.idxF = idxF
+	if err := s.consumeIndexLocked(); err != nil {
+		return fail(err)
+	}
 	if err := s.recoverSegments(); err != nil {
-		idxF.Close()
-		return nil, err
+		return fail(err)
 	}
 	s.publishGauges()
 	return s, nil
 }
 
-func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.jsonl") }
+func (s *Store) indexPath() string { return filepath.Join(s.dir, s.idxName) }
 
 func (s *Store) obsReg() *obs.Registry {
 	if s.obs != nil {
@@ -190,14 +245,29 @@ func (s *Store) publishGauges() {
 	reg := s.obsReg()
 	reg.Gauge("store_entries").Set(int64(len(s.index)))
 	reg.Gauge("store_bytes").Set(s.bytes)
+	reg.Gauge("store_live_bytes").Set(s.bytes - s.deadBytes)
+	reg.Gauge("store_dead_bytes").Set(s.deadBytes)
+	reg.Gauge("store_generation").Set(s.gen)
 }
 
-// refreshLocked consumes index.jsonl lines appended since the last read
+// refreshLocked brings the in-memory view up to date with disk: it first
+// adopts any compaction generation another process committed, then
+// consumes new index lines. Caller holds s.mu.
+func (s *Store) refreshLocked() error {
+	if reset, err := s.checkGenerationLocked(); err != nil {
+		return err
+	} else if reset {
+		return nil // adopting the generation already reloaded the index
+	}
+	return s.consumeIndexLocked()
+}
+
+// consumeIndexLocked consumes index lines appended since the last read
 // (by this or any other writer sharing the directory) and folds the valid
 // ones into the in-memory index. Malformed lines — a torn tail from a
 // killed writer — are skipped, never trusted. Caller holds s.mu (or is
 // Open, before the store escapes).
-func (s *Store) refreshLocked() error {
+func (s *Store) consumeIndexLocked() error {
 	f, err := os.Open(s.indexPath())
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -238,6 +308,17 @@ func (s *Store) refreshLocked() error {
 			s.stats.Dropped++
 			continue
 		}
+		if il.Del {
+			// Tombstones are applied once per distinct record: the index is
+			// re-read from idxOff after our own appends, and a replayed
+			// tombstone must not re-kill a key a later Put revived.
+			loc := fmt.Sprintf("%s:%d", il.Segment, il.Offset)
+			if _, seen := s.tombSeen[loc]; !seen {
+				s.tombSeen[loc] = il.Offset + il.RecLen
+				s.applyTombstone(il.Key, il.RecLen)
+			}
+			continue
+		}
 		s.addEntry(&Entry{
 			Key:  il.Key,
 			Meta: Meta{Algorithm: il.Algorithm, Kind: il.Kind, Created: il.Created},
@@ -248,27 +329,74 @@ func (s *Store) refreshLocked() error {
 }
 
 func (s *Store) addEntry(e *Entry) {
-	if _, dup := s.index[e.Key]; !dup {
-		s.order = append(s.order, e.Key)
-		s.bytes += e.recLen
+	delete(s.tombstoned, e.Key) // a re-Put after Delete revives the key
+	if old, ok := s.index[e.Key]; ok {
+		// Same key at a new location: another replica raced us to write
+		// this content. The older record's bytes are dead until compaction.
+		if old.Segment != e.Segment || old.Offset != e.Offset {
+			s.bytes += e.recLen
+			s.deadBytes += old.recLen
+			s.stats.Supersede++
+		}
+		s.index[e.Key] = e
+		return
 	}
-	s.index[e.Key] = e // duplicates are identical content; last wins
+	s.order = append(s.order, e.Key)
+	s.bytes += e.recLen
+	s.index[e.Key] = e
+}
+
+// applyTombstone folds a Delete into the view: the key's live record (if
+// any) and the tombstone itself both become dead bytes awaiting Compact.
+func (s *Store) applyTombstone(key string, recLen int64) {
+	if old, ok := s.index[key]; ok {
+		delete(s.index, key)
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.deadBytes += old.recLen
+		s.stats.Supersede++
+	}
+	s.tombstoned[key] = true
+	s.bytes += recLen
+	s.deadBytes += recLen
 }
 
 // recoverSegments scans every segment past its highest indexed offset and
 // re-indexes complete, CRC-valid records the index missed. The scan stops
 // at the first invalid record — the torn tail of a crashed writer (or the
 // in-progress write of a live one) — without truncating anything.
+// Compaction segments of other generations are skipped: they are either
+// partial-compaction debris awaiting the janitor or already obsolete.
 func (s *Store) recoverSegments() error {
 	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.dat"))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	csegs, err := filepath.Glob(filepath.Join(s.dir, "cseg-*.dat"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range csegs {
+		if csegGen(filepath.Base(p)) == s.gen {
+			names = append(names, p)
+		}
 	}
 	sort.Strings(names)
 	tail := map[string]int64{}
 	for _, e := range s.index {
 		if end := e.Offset + e.recLen; end > tail[e.Segment] {
 			tail[e.Segment] = end
+		}
+	}
+	for loc, end := range s.tombSeen {
+		if i := strings.LastIndexByte(loc, ':'); i > 0 {
+			if seg := loc[:i]; end > tail[seg] {
+				tail[seg] = end
+			}
 		}
 	}
 	for _, path := range names {
@@ -284,13 +412,31 @@ func (s *Store) recoverSegments() error {
 				break
 			}
 			e.Segment = seg
-			if _, dup := s.index[e.Key]; !dup {
-				if err := s.appendIndexLine(e); err != nil {
-					f.Close()
-					return err
+			switch {
+			case e.Meta.Deleted:
+				// An unindexed tombstone: a crash hit between the record
+				// write and the index append. Finish the Delete.
+				loc := fmt.Sprintf("%s:%d", seg, off)
+				if _, seen := s.tombSeen[loc]; !seen {
+					if err := s.appendIndexLine(e, true); err != nil {
+						f.Close()
+						return err
+					}
+					s.tombSeen[loc] = off + e.recLen
+					s.applyTombstone(e.Key, e.recLen)
+					s.stats.Recovered++
 				}
-				s.addEntry(e)
-				s.stats.Recovered++
+			case s.tombstoned[e.Key]:
+				// A stale copy of a deleted key must not resurrect it.
+			default:
+				if _, dup := s.index[e.Key]; !dup {
+					if err := s.appendIndexLine(e, false); err != nil {
+						f.Close()
+						return err
+					}
+					s.addEntry(e)
+					s.stats.Recovered++
+				}
 			}
 			off += e.recLen
 		}
@@ -340,10 +486,11 @@ func readRecordAt(f *os.File, off int64) (*Entry, []byte, bool) {
 	return e, body[keyLen+metaLen:], true
 }
 
-func (s *Store) appendIndexLine(e *Entry) error {
+func (s *Store) appendIndexLine(e *Entry, del bool) error {
 	b, err := json.Marshal(indexLine{
 		Key: e.Key, Segment: e.Segment, Offset: e.Offset, RecLen: e.recLen,
 		Size: e.Size, Algorithm: e.Meta.Algorithm, Kind: e.Meta.Kind, Created: e.Meta.Created,
+		Del: del,
 	})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -390,6 +537,9 @@ func (s *Store) ensureSegment() error {
 // Put stores blob under key. The store is content-addressed: a key that
 // already exists is a no-op (the content is by construction identical),
 // so concurrent replicas may race to snapshot the same model safely.
+// The write happens under the shared compaction lock: it can proceed
+// concurrently with every other writer but never overlaps a Compact,
+// and it adopts a freshly committed generation before touching disk.
 func (s *Store) Put(key string, meta Meta, blob []byte) error {
 	if key == "" || len(key) > maxKeyLen || strings.ContainsAny(key, "\n\r") {
 		return fmt.Errorf("store: invalid key %q", key)
@@ -399,6 +549,13 @@ func (s *Store) Put(key string, meta Meta, blob []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.flock(syscall.LOCK_SH); err != nil {
+		return err
+	}
+	defer s.funlock()
+	if _, err := s.checkGenerationLocked(); err != nil {
+		return err
+	}
 	if _, ok := s.index[key]; ok {
 		s.stats.DupPuts++
 		s.obsReg().Counter("store_dup_puts_total").Inc()
@@ -441,7 +598,7 @@ func (s *Store) Put(key string, meta Meta, blob []byte) error {
 	s.activeSize += int64(len(rec))
 	e := &Entry{Key: key, Meta: meta, Size: len(blob),
 		Segment: s.activeName, Offset: off, recLen: int64(len(rec))}
-	if err := s.appendIndexLine(e); err != nil {
+	if err := s.appendIndexLine(e, false); err != nil {
 		return err
 	}
 	s.addEntry(e)
@@ -452,41 +609,108 @@ func (s *Store) Put(key string, meta Meta, blob []byte) error {
 	return nil
 }
 
+// Delete appends a tombstone for key. The key's record and the tombstone
+// both become dead bytes that the next Compact reclaims; until then other
+// replicas observe the delete through their normal index refresh. Deleting
+// an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	if key == "" || len(key) > maxKeyLen || strings.ContainsAny(key, "\n\r") {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flock(syscall.LOCK_SH); err != nil {
+		return err
+	}
+	defer s.funlock()
+	if err := s.refreshLocked(); err != nil {
+		return err
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	meta := Meta{Created: time.Now().Unix(), Deleted: true}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.ensureSegment(); err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(key)))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(metaJSON)))
+	binary.BigEndian.PutUint32(hdr[8:12], 0)
+	body := make([]byte, 0, len(key)+len(metaJSON))
+	body = append(body, key...)
+	body = append(body, metaJSON...)
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(body))
+	rec := append(hdr[:], body...)
+
+	off := s.activeSize
+	if _, err := s.active.WriteAt(rec, off); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.activeSize += int64(len(rec))
+	e := &Entry{Key: key, Meta: meta, Size: 0,
+		Segment: s.activeName, Offset: off, recLen: int64(len(rec))}
+	if err := s.appendIndexLine(e, true); err != nil {
+		return err
+	}
+	s.tombSeen[fmt.Sprintf("%s:%d", e.Segment, e.Offset)] = off + e.recLen
+	s.applyTombstone(key, e.recLen)
+	s.stats.Deletes++
+	s.obsReg().Counter("store_deletes_total").Inc()
+	s.publishGauges()
+	return nil
+}
+
 // Get returns the blob and meta stored under key. A miss first refreshes
 // the index from disk, so records appended by other replicas sharing the
-// directory become visible without reopening the store.
+// directory become visible without reopening the store. Reads take no
+// cross-process lock: when a record fails to open or verify because a
+// concurrent compaction swapped the files underneath us, Get adopts the
+// new generation and retries once before declaring the key bad.
 func (s *Store) Get(key string) ([]byte, Meta, error) {
 	s.mu.Lock()
-	e, ok := s.index[key]
-	if !ok {
-		if err := s.refreshLocked(); err != nil {
-			s.mu.Unlock()
-			return nil, Meta{}, err
+	for attempt := 0; ; attempt++ {
+		e, ok := s.index[key]
+		if !ok {
+			if err := s.refreshLocked(); err != nil {
+				s.mu.Unlock()
+				return nil, Meta{}, err
+			}
+			e, ok = s.index[key]
 		}
-		e, ok = s.index[key]
-	}
-	if !ok {
-		s.stats.Misses++
-		s.mu.Unlock()
-		s.obsReg().Counter("store_misses_total").Inc()
-		return nil, Meta{}, fmt.Errorf("store: no artifact for key %q", key)
-	}
-	f, err := s.readerLocked(e.Segment)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, Meta{}, err
-	}
-	got, blob, valid := readRecordAt(f, e.Offset)
-	if !valid || got.Key != key {
+		if !ok {
+			s.stats.Misses++
+			s.mu.Unlock()
+			s.obsReg().Counter("store_misses_total").Inc()
+			return nil, Meta{}, fmt.Errorf("store: no artifact for key %q", key)
+		}
+		f, err := s.readerLocked(e.Segment)
+		if err == nil {
+			if got, blob, valid := readRecordAt(f, e.Offset); valid && got.Key == key {
+				s.stats.Hits++
+				s.mu.Unlock()
+				s.obsReg().Counter("store_hits_total").Inc()
+				return blob, got.Meta, nil
+			}
+		}
+		if attempt == 0 {
+			if reset, rerr := s.checkGenerationLocked(); rerr == nil && reset {
+				continue // the files moved; re-resolve against the new index
+			}
+		}
 		s.stats.Misses++
 		s.mu.Unlock()
 		s.obsReg().Counter("store_misses_total").Inc()
 		return nil, Meta{}, fmt.Errorf("store: artifact for key %q failed verification", key)
 	}
-	s.stats.Hits++
-	s.mu.Unlock()
-	s.obsReg().Counter("store_hits_total").Inc()
-	return blob, got.Meta, nil
 }
 
 func (s *Store) readerLocked(segment string) (*os.File, error) {
@@ -499,6 +723,19 @@ func (s *Store) readerLocked(segment string) (*os.File, error) {
 	}
 	s.readers[segment] = f
 	return f, nil
+}
+
+// Refresh brings the in-memory view up to date with disk on demand —
+// new index lines from other writers and any committed compaction
+// generation — without waiting for a Get miss to trigger it. Tools that
+// List() a live shared directory (dminfo, the soak harness's retention
+// worker) call it first.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.refreshLocked()
+	s.publishGauges()
+	return err
 }
 
 // Has reports whether key is stored (without counting a hit or miss, and
@@ -528,11 +765,33 @@ func (s *Store) List() []Entry {
 	return out
 }
 
-// Bytes returns the total indexed record bytes.
+// Bytes returns the total indexed record bytes (live + dead).
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytes
+}
+
+// DeadBytes returns the indexed bytes held by superseded records and
+// tombstones — what the next Compact would reclaim.
+func (s *Store) DeadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadBytes
+}
+
+// LiveBytes returns Bytes minus DeadBytes.
+func (s *Store) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes - s.deadBytes
+}
+
+// Generation returns the compaction generation this store has adopted.
+func (s *Store) Generation() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // Dir returns the store's root directory.
@@ -568,6 +827,14 @@ func (s *Store) Close() error {
 			first = err
 		}
 		s.idxF = nil
+	}
+	if s.lockF != nil {
+		// Closing the lock file also releases any flock the kernel still
+		// holds for us — the same guarantee a SIGKILL gets.
+		if err := s.lockF.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lockF = nil
 	}
 	return first
 }

@@ -1,5 +1,5 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke in four phases. Phase 1 covers the
+# scripts/smoke.sh — end-to-end smoke in seven phases. Phase 1 covers the
 # observability layer: start a real dmserver, probe /healthz and /metrics,
 # then run a small dmexp batch against the registry and check that ONE
 # trace ID crosses the client log, the server log and the journal.
@@ -19,6 +19,10 @@
 # zero retrains. Phase 6 covers batched binary scoring: a 1024-row dmb1
 # payload through one Session classifyBatch call, with the decoded dmr1
 # reply and the batch_rows_total / batch_decode_ms metrics asserted.
+# Phase 7 covers replica churn + store GC: a ~30s dmsoak run — three
+# dmservers sharing a store directory, a SIGKILL every 10s, background
+# compaction enabled — must finish with zero failed requests, at least
+# one replica kill survived, and a nonzero GC byte reclaim.
 # Run from the repo root.
 set -eu
 
@@ -512,4 +516,43 @@ if ! grep -q '"batch_decode_ms{op=classifyBatch}' "$WORK/batch-metrics.json"; th
 fi
 
 echo "smoke: phase 6 ok (1024-row dmb1 batch scored in one call, metrics observed)"
+
+# ---------------------------------------------------------------------------
+# Phase 7: replica churn + store GC. dmsoak boots three dmservers on one
+# store directory behind its own registry, drives a mixed train /
+# classify / classifyBatch workload through resilience pools, SIGKILLs
+# and restarts a random replica every 10s, and deletes stored models so
+# the replicas' background GC has dead bytes to reclaim. The soak must
+# end with zero client-visible failures, at least one kill survived, and
+# a nonzero GC reclaim (the run's sweeps plus the closing forced
+# compaction).
+go build -o "$WORK/dmsoak" ./cmd/dmsoak
+
+"$WORK/dmsoak" -replicas 3 -duration 30s -kill-every 10s -workers 4 \
+	-dmserver "$WORK/dmserver" -out "$WORK/soak.json" \
+	>"$WORK/soak.out" 2>"$WORK/soak.err" || {
+	echo "smoke: dmsoak run failed (error budget exceeded?)" >&2
+	cat "$WORK/soak.json" 2>/dev/null >&2 || cat "$WORK/soak.out" >&2
+	tail -40 "$WORK/soak.err" >&2
+	exit 1
+}
+if ! grep -q '"failed": 0' "$WORK/soak.json"; then
+	echo "smoke: soak saw client-visible failures" >&2
+	cat "$WORK/soak.json" >&2
+	exit 1
+fi
+kills=$(sed -n 's/.*"kills": *\([0-9]*\).*/\1/p' "$WORK/soak.json" | head -1)
+if [ -z "$kills" ] || [ "$kills" -lt 1 ]; then
+	echo "smoke: soak killed $kills replica(s), want >= 1" >&2
+	cat "$WORK/soak.json" >&2
+	exit 1
+fi
+reclaimed=$(sed -n 's/.*"reclaimed_bytes": *\([0-9]*\).*/\1/p' "$WORK/soak.json" | head -1)
+if [ -z "$reclaimed" ] || [ "$reclaimed" -lt 1 ]; then
+	echo "smoke: soak reclaimed $reclaimed byte(s) of garbage, want > 0" >&2
+	cat "$WORK/soak.json" >&2
+	exit 1
+fi
+
+echo "smoke: phase 7 ok (kills=$kills survived, failed=0, gc reclaimed ${reclaimed}B)"
 echo "smoke: ok"

@@ -4,7 +4,8 @@
 # registry sweep races under -race), then the end-to-end smoke: live
 # dmserver probes, traced dmexp batch, chaos failover, the admission
 # flood + graceful-drain drill, the model-store replica-failover drill,
-# and the 1024-row dmb1 classifyBatch drill. Run from the repo root.
+# the 1024-row dmb1 classifyBatch drill, and the 30s replica-churn soak.
+# Run from the repo root.
 set -eux
 
 unformatted=$(gofmt -l .)
@@ -38,9 +39,21 @@ go test -race -run 'Parallel|ForEach|Cancellation' \
 	./internal/parallel/ ./internal/classify/ ./internal/cluster/ ./internal/attrsel/
 
 # The model store gets its own -race pass: torn-tail recovery, concurrent
-# Put/Get, and the two-replica session-resume paths must hold when store
-# and harness access actually interleaves.
-go test -race ./internal/store/ ./internal/harness/ ./internal/services/
+# Put/Get, the compaction protocol (two writers racing a compactor, the
+# SIGKILL-at-every-byte crash sweep), and the two-replica session-resume
+# paths must hold when store and harness access actually interleaves.
+# dmsoak's report/quantile/scraper plumbing rides along.
+go test -race ./internal/store/ ./internal/harness/ ./internal/services/ ./cmd/dmsoak/
+
+# A deterministic short-mode soak: two real dmserver replicas on one
+# store directory, a SIGKILL every 2.5s, background GC on — the run must
+# end inside its error budget (exit 0) with zero failed requests and at
+# least one kill survived.
+SOAK_OUT=$(mktemp)
+go run ./cmd/dmsoak -short -out "$SOAK_OUT"
+grep -q '"failed": 0' "$SOAK_OUT"
+grep -Eq '"kills": [1-9]' "$SOAK_OUT"
+rm -f "$SOAK_OUT"
 
 # The batched scoring path gets its own -race pass: the dmb1 codec's
 # property/truncation tests and the dataset package's lazy column cache

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/registry"
+	"repro/internal/resilience"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// workflowHedgeResult is the workflow_hedge section of the report: the
+// same multi-step workflow run over a two-replica pool where one replica
+// answers with injected latency, with and without hedged dispatch.
+type workflowHedgeResult struct {
+	Steps             int     `json:"steps"`
+	Runs              int     `json:"runs"`
+	InjectedLatencyMs float64 `json:"injectedLatencyMs"`
+	HedgeDelayMs      float64 `json:"hedgeDelayMs"`
+	UnhedgedP50Ms     float64 `json:"unhedgedP50Ms"`
+	UnhedgedP99Ms     float64 `json:"unhedgedP99Ms"`
+	HedgedP50Ms       float64 `json:"hedgedP50Ms"`
+	HedgedP99Ms       float64 `json:"hedgedP99Ms"`
+	HedgeWins         int64   `json:"hedgeWins"`
+	P99Speedup        float64 `json:"p99Speedup"`
+}
+
+// hostHedgeClassifier mounts a Classifier service, optionally behind a
+// chaos injector, and returns the endpoint plus a shutdown func.
+func hostHedgeClassifier(inj *chaos.Injector) (string, func()) {
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(inj.Wrap(mux))
+	paths := services.Host(mux, srv.URL, services.NewClassifierService(harness.NewCachedBackend(4)))
+	return srv.URL + paths["Classifier"], srv.Close
+}
+
+// hedgeWorkflow composes the 3-step benchmark workflow — list the
+// algorithms, pick J48, fetch its options — against a registry-backed
+// pool. Both SOAP steps round-robin over the same two replicas.
+func hedgeWorkflow(regURL string, hedged bool, hp *resilience.HedgePolicy) *workflow.Graph {
+	soapStep := func(op string, in, out []string) *workflow.SOAPUnit {
+		u := &workflow.SOAPUnit{
+			Service:     "Classifier",
+			Operation:   op,
+			In:          in,
+			Out:         out,
+			RegistryURL: regURL,
+			Category:    "classifier",
+		}
+		if hedged {
+			u.Hedge = true
+			u.HedgePolicy = hp
+		}
+		return u
+	}
+	g := workflow.NewGraph("hedge-bench")
+	g.MustAdd("list", soapStep("getClassifiers", nil, []string{"classifiers"}))
+	g.MustAdd("pick", &workflow.FuncUnit{
+		UnitName: "pick-J48",
+		In:       []string{"classifiers"},
+		Out:      []string{"classifier"},
+		Fn: func(ctx context.Context, in workflow.Values) (workflow.Values, error) {
+			for _, name := range strings.Split(in["classifiers"], "\n") {
+				if strings.TrimSpace(name) == "J48" {
+					return workflow.Values{"classifier": "J48"}, nil
+				}
+			}
+			return workflow.Values{"classifier": "J48"}, nil
+		},
+	})
+	g.MustAdd("opts", soapStep("getOptions", []string{"classifier"}, []string{"options"}))
+	g.MustConnect("list", "classifiers", "pick", "classifiers")
+	g.MustConnect("pick", "classifier", "opts", "classifier")
+	return g
+}
+
+// workflowHedgeExperiment measures tail latency of the 3-step workflow
+// when one of the two replicas answers every call 500ms late: unhedged,
+// round-robin lands roughly every other SOAP step on the slow replica
+// and the workflow wall clock eats the full injected latency; hedged, a
+// backup attempt on the healthy replica wins the race at the hedge
+// delay. A fixed hedge delay keeps the run deterministic — the latency
+// EWMA would be polluted by the steady stream of slow successes.
+func workflowHedgeExperiment() workflowHedgeResult {
+	const (
+		injected   = 500 * time.Millisecond
+		hedgeDelay = 25 * time.Millisecond
+		runs       = 12
+	)
+	slowEp, closeSlow := hostHedgeClassifier(chaos.New(11, chaos.Rule{Latency: injected}))
+	defer closeSlow()
+	fastEp, closeFast := hostHedgeClassifier(nil)
+	defer closeFast()
+
+	reg := registry.New()
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+	for _, ep := range []string{slowEp, fastEp} {
+		if err := reg.Publish(registry.Entry{
+			Name: "Classifier", Category: "classifier", Endpoint: ep, WSDLURL: ep,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var hs resilience.HedgeStats
+	measure := func(g *workflow.Graph, ctx context.Context) (wallsMs []float64) {
+		eng := workflow.NewEngine()
+		for i := 0; i < runs; i++ {
+			began := time.Now()
+			if _, err := eng.Run(ctx, g); err != nil {
+				log.Fatal(err)
+			}
+			wallsMs = append(wallsMs, float64(time.Since(began))/float64(time.Millisecond))
+		}
+		return wallsMs
+	}
+	unhedged := measure(hedgeWorkflow(regSrv.URL, false, nil), context.Background())
+	hedged := measure(hedgeWorkflow(regSrv.URL, true, &resilience.HedgePolicy{Delay: hedgeDelay}),
+		resilience.WithHedgeStats(context.Background(), &hs))
+
+	res := workflowHedgeResult{
+		Steps:             3,
+		Runs:              runs,
+		InjectedLatencyMs: float64(injected) / float64(time.Millisecond),
+		HedgeDelayMs:      float64(hedgeDelay) / float64(time.Millisecond),
+		UnhedgedP50Ms:     percentileMs(unhedged, 0.50),
+		UnhedgedP99Ms:     percentileMs(unhedged, 0.99),
+		HedgedP50Ms:       percentileMs(hedged, 0.50),
+		HedgedP99Ms:       percentileMs(hedged, 0.99),
+		HedgeWins:         hs.Wins.Load(),
+	}
+	if res.HedgedP99Ms > 0 {
+		res.P99Speedup = res.UnhedgedP99Ms / res.HedgedP99Ms
+	}
+	return res
+}
+
+// percentileMs returns the p-th percentile of the samples (nearest-rank).
+func percentileMs(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(p*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

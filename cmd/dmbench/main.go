@@ -205,6 +205,15 @@ func main() {
 		fmt.Sprintf("%d entries, %.0f%% dead: %d -> %d bytes (reclaimed %d) in %.1f ms, %.0f MB/s rewrite",
 			gcRes.Entries, gcRes.DeadFraction*100, gcRes.BytesBefore, gcRes.BytesAfter,
 			gcRes.ReclaimedBytes, gcRes.CompactMs, gcRes.ThroughputMBs))
+	// Hedged dispatch: the 3-step workflow's tail under one slow replica.
+	wh := workflowHedgeExperiment()
+	pr.WorkflowHedge = &wh
+	report("—", "Hedged dispatch (Pool.DoHedged)",
+		"a backup attempt on a second healthy replica bounds the tail a slow endpoint adds to every workflow step",
+		fmt.Sprintf("%d-step workflow x%d runs, %0.fms latency on 1 of 2 replicas: p50/p99 %.0f/%.0f ms unhedged vs %.0f/%.0f ms hedged (%d hedge wins, p99 %.1fx better)",
+			wh.Steps, wh.Runs, wh.InjectedLatencyMs, wh.UnhedgedP50Ms, wh.UnhedgedP99Ms,
+			wh.HedgedP50Ms, wh.HedgedP99Ms, wh.HedgeWins, wh.P99Speedup))
+
 	if *parallelOut != "" {
 		raw, err := json.MarshalIndent(pr, "", "  ")
 		if err != nil {
@@ -268,12 +277,13 @@ type storeGCResult struct {
 
 // parallelReport is the BENCH_parallel.json document.
 type parallelReport struct {
-	GoMaxProcs int            `json:"goMaxProcs"`
-	Note       string         `json:"note"`
-	Kernels    []kernelResult `json:"kernels"`
-	Batch      []batchResult  `json:"batch,omitempty"`
-	Store      []storeResult  `json:"store,omitempty"`
-	StoreGC    *storeGCResult `json:"store_gc,omitempty"`
+	GoMaxProcs    int                  `json:"goMaxProcs"`
+	Note          string               `json:"note"`
+	Kernels       []kernelResult       `json:"kernels"`
+	Batch         []batchResult        `json:"batch,omitempty"`
+	Store         []storeResult        `json:"store,omitempty"`
+	StoreGC       *storeGCResult       `json:"store_gc,omitempty"`
+	WorkflowHedge *workflowHedgeResult `json:"workflow_hedge,omitempty"`
 }
 
 // parallelExperiment times the three headline kernels (cross-validation

@@ -1,0 +1,259 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HedgePolicy tunes Pool.DoHedged. The zero value (and a nil
+// *HedgePolicy) uses the defaults noted per field.
+type HedgePolicy struct {
+	// Delay fixes the hedge delay; 0 derives it from the pool's EWMA of
+	// successful call latency.
+	Delay time.Duration
+	// EWMAFactor scales the EWMA into a delay — hedge once the primary
+	// attempt has been in flight this many times longer than a typical
+	// call; <=0 means 2.
+	EWMAFactor float64
+	// MinDelay / MaxDelay clamp the derived delay; <=0 means 20ms / 2s.
+	// Before the pool has any latency signal the delay is MaxDelay, so a
+	// cold pool hedges only against a genuinely stuck attempt.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+}
+
+func (hp *HedgePolicy) minDelay() time.Duration {
+	if hp == nil || hp.MinDelay <= 0 {
+		return 20 * time.Millisecond
+	}
+	return hp.MinDelay
+}
+
+func (hp *HedgePolicy) maxDelay() time.Duration {
+	if hp == nil || hp.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return hp.MaxDelay
+}
+
+func (hp *HedgePolicy) factor() float64 {
+	if hp == nil || hp.EWMAFactor <= 0 {
+		return 2
+	}
+	return hp.EWMAFactor
+}
+
+// HedgeDelay resolves the delay before a backup attempt launches: the
+// fixed Delay when set, otherwise EWMAFactor times the observed latency
+// EWMA clamped to [MinDelay, MaxDelay].
+func (hp *HedgePolicy) HedgeDelay(ewma time.Duration) time.Duration {
+	if hp != nil && hp.Delay > 0 {
+		return hp.Delay
+	}
+	if ewma <= 0 {
+		return hp.maxDelay()
+	}
+	d := time.Duration(float64(ewma) * hp.factor())
+	if min := hp.minDelay(); d < min {
+		d = min
+	}
+	if max := hp.maxDelay(); d > max {
+		d = max
+	}
+	return d
+}
+
+// HedgeStats accumulates hedge outcomes for one logical scope (a
+// workflow step, a request). Attach it with WithHedgeStats; DoHedged
+// increments it when present.
+type HedgeStats struct {
+	// Launched counts backup attempts started.
+	Launched atomic.Int64
+	// Wins counts calls the backup attempt won.
+	Wins atomic.Int64
+}
+
+type hedgeStatsKey struct{}
+
+// WithHedgeStats attaches a HedgeStats collector to ctx so callers can
+// see per-scope hedge activity without threading a return value through
+// every layer. A nil hs returns ctx unchanged.
+func WithHedgeStats(ctx context.Context, hs *HedgeStats) context.Context {
+	if hs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, hedgeStatsKey{}, hs)
+}
+
+// HedgeStatsFrom returns the collector attached by WithHedgeStats.
+func HedgeStatsFrom(ctx context.Context) (*HedgeStats, bool) {
+	hs, ok := ctx.Value(hedgeStatsKey{}).(*HedgeStats)
+	return hs, ok
+}
+
+// observeLatency feeds one successful call's wall time into the pool's
+// latency EWMA (factor 1/4: responsive but not jumpy — the same
+// smoothing the admission layer uses for its service-time estimate).
+func (p *Pool) observeLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := p.latEWMAns.Load()
+		next := int64(d)
+		if old > 0 {
+			next = (3*old + int64(d)) / 4
+		}
+		if p.latEWMAns.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// LatencyEWMA returns the pool's smoothed successful-call latency (zero
+// until the first success).
+func (p *Pool) LatencyEWMA() time.Duration {
+	return time.Duration(p.latEWMAns.Load())
+}
+
+// raceResult is one attempt's outcome inside a hedged race.
+type raceResult struct {
+	ep  string
+	err error
+	dur time.Duration
+}
+
+// DoHedged is Do with tail-latency hedging: each attempt round starts on
+// one healthy endpoint and, if no answer arrives within the hedge delay
+// (HedgePolicy.HedgeDelay over the pool's latency EWMA), launches one
+// backup attempt on a different healthy endpoint. The first success wins
+// and the loser's context is cancelled; DoHedged waits for the loser to
+// return before reporting, so no attempt goroutine outlives the call. A
+// cancelled loser records a breaker-neutral outcome — losing a race is
+// not evidence of endpoint failure.
+//
+// Hedging re-sends the same invocation, so fn MUST be idempotent: both
+// attempts can execute to completion on different replicas. Reserve it
+// for read and pure-compute operations (scoring, inquiry, deterministic
+// training against a content-addressed store) and keep mutating calls on
+// Do.
+func (p *Pool) DoHedged(ctx context.Context, pol *Policy, hp *HedgePolicy, fn func(ctx context.Context, endpoint string) error) (string, error) {
+	attempts := pol.Attempts()
+	var lastEp string
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return lastEp, lastErr
+		}
+		p.MaybeRefresh(ctx)
+		var skip []string
+		if lastEp != "" {
+			skip = []string{lastEp}
+		}
+		ep, pickErr := p.Pick(skip...)
+		if pickErr != nil {
+			lastErr = pickErr
+			_ = p.Refresh(ctx)
+		} else {
+			winEp, err := p.hedgedRace(ctx, hp, ep, fn)
+			if err == nil {
+				return winEp, nil
+			}
+			lastEp, lastErr = winEp, err
+			if cls := Classify(ctx, err); cls != Retryable && cls != Busy {
+				return winEp, err
+			}
+		}
+		if attempt < attempts {
+			p.observer.Counter("resilience_retries_total").Inc()
+			if err := pol.SleepHint(ctx, attempt, RetryAfter(lastErr)); err != nil {
+				return lastEp, lastErr
+			}
+		}
+	}
+	return lastEp, lastErr
+}
+
+// hedgedRace runs one attempt round: the primary attempt immediately, a
+// backup on a second healthy endpoint once the hedge delay elapses, the
+// first success winning. Every launched attempt is Recorded and awaited
+// before return.
+func (p *Pool) hedgedRace(ctx context.Context, hp *HedgePolicy, primary string, fn func(ctx context.Context, endpoint string) error) (string, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan raceResult, 2)
+	var wg sync.WaitGroup
+	launch := func(ep string) {
+		wg.Add(1)
+		go func() {
+			began := time.Now()
+			err := fn(raceCtx, ep)
+			results <- raceResult{ep: ep, err: err, dur: time.Since(began)}
+			wg.Done()
+		}()
+	}
+	launch(primary)
+	launched := 1
+
+	timer := time.NewTimer(hp.HedgeDelay(p.LatencyEWMA()))
+	defer timer.Stop()
+
+	hs, _ := HedgeStatsFrom(ctx)
+	var winEp string
+	var raceErr error
+	settled := 0
+	for settled < launched {
+		select {
+		case r := <-results:
+			settled++
+			p.Record(r.ep, r.err)
+			if r.err == nil {
+				if winEp == "" {
+					winEp = r.ep
+					p.observeLatency(r.dur)
+					if launched > 1 && r.ep != primary {
+						p.observer.Counter("resilience_hedge_wins_total").Inc()
+						if hs != nil {
+							hs.Wins.Add(1)
+						}
+						resLog.Debug(ctx, "hedge_win", "endpoint", r.ep, "primary", primary)
+					}
+					cancel() // the loser's attempt is moot; reel it in
+				}
+			} else if winEp == "" {
+				raceErr = r.err
+			}
+		case <-timer.C:
+			if winEp != "" || launched > 1 {
+				continue
+			}
+			backup, err := p.Pick(primary)
+			if err != nil {
+				continue // no second healthy endpoint; ride the primary
+			}
+			if backup == primary {
+				// Pick only returns a skipped endpoint when it is the lone
+				// healthy one; answer the pick neutrally (it may hold a
+				// half-open probe slot) and skip the hedge.
+				p.Record(backup, context.Canceled)
+				continue
+			}
+			p.observer.Counter("resilience_hedges_total").Inc()
+			if hs != nil {
+				hs.Launched.Add(1)
+			}
+			launch(backup)
+			launched++
+		}
+	}
+	wg.Wait()
+	if winEp != "" {
+		return winEp, nil
+	}
+	return primary, raceErr
+}

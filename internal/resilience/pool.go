@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -27,6 +28,10 @@ type Pool struct {
 	source       SourceFunc
 	refreshEvery time.Duration
 	label        string
+
+	// latEWMAns smooths successful call latency (see observeLatency);
+	// DoHedged derives its backup-launch delay from it.
+	latEWMAns atomic.Int64
 
 	mu          sync.Mutex
 	endpoints   []string
@@ -262,9 +267,11 @@ func (p *Pool) Do(ctx context.Context, pol *Policy, fn func(ctx context.Context,
 			// it for the rest of the call.
 			_ = p.Refresh(ctx)
 		} else {
+			began := time.Now()
 			err := fn(ctx, ep)
 			p.Record(ep, err)
 			if err == nil {
+				p.observeLatency(time.Since(began))
 				return ep, nil
 			}
 			lastEp, lastErr = ep, err

@@ -3,6 +3,7 @@ package soap
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -136,7 +137,13 @@ func (c *Client) CallContext(ctx context.Context, url, operation string, parts m
 	reg := c.obsReg()
 	reg.Counter("soap_client_requests_total", "op="+operation).Inc()
 	reg.Histogram("soap_client_latency_ms", "op="+operation).Observe(span.DurationMS())
-	if err != nil {
+	if err != nil && errors.Is(ctx.Err(), context.Canceled) {
+		// A cancelled in-flight call — typically the losing attempt of a
+		// hedged race or an abandoned workflow — is bookkeeping, not a
+		// service fault; count it apart so fault dashboards stay honest.
+		reg.Counter("soap_client_cancelled_total", "op="+operation).Inc()
+		clientLog.Debug(ctx, operation, "endpoint", url, "status", "cancelled")
+	} else if err != nil {
 		reg.Counter("soap_client_faults_total", "op="+operation, "class="+obs.FaultClass(err)).Inc()
 		clientLog.Warn(ctx, operation, "endpoint", url, "err", err)
 	} else {

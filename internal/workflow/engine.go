@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 var wfLog = obs.L("workflow")
@@ -26,6 +27,9 @@ const (
 	// TaskRetried fires when execution moves to an alternate unit — the
 	// paper's job migration on fault.
 	TaskRetried
+	// TaskReplayed fires when a resumed run restores a step's outputs
+	// from the journal instead of re-invoking its unit.
+	TaskReplayed
 )
 
 // String renders the event kind.
@@ -39,6 +43,8 @@ func (k EventKind) String() string {
 		return "failed"
 	case TaskRetried:
 		return "retried"
+	case TaskReplayed:
+		return "replayed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -67,10 +73,18 @@ type Engine struct {
 	Monitor Monitor
 	// Observer receives the engine's metrics; nil means obs.Default.
 	Observer *obs.Registry
+	// BudgetDeadlines splits a caller deadline across the critical path
+	// of the unfinished DAG (default true via NewEngine): each step runs
+	// under remaining/critical-path-length of the caller's budget, so one
+	// slow step fails its own slice instead of silently starving every
+	// successor of time. Steps that finish early return their unused
+	// slice to the pool — the split is recomputed from the real clock at
+	// every step start.
+	BudgetDeadlines bool
 }
 
-// NewEngine returns a parallel engine.
-func NewEngine() *Engine { return &Engine{Parallel: true} }
+// NewEngine returns a parallel engine with deadline budgeting on.
+func NewEngine() *Engine { return &Engine{Parallel: true, BudgetDeadlines: true} }
 
 func (e *Engine) obsReg() *obs.Registry {
 	if e.Observer != nil {
@@ -106,6 +120,26 @@ func (r *Result) Value(taskID, port string) (string, bool) {
 // Params provide values for unconnected input nodes. Task failures abort
 // the run after exhausting alternates.
 func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
+	return e.run(ctx, g, nil)
+}
+
+// Resume executes the graph under a step journal. Steps the journal
+// records as completed with a matching input digest are replayed — their
+// output Values restored without re-invoking the unit — and every step
+// that does run appends its terminal outcome to the journal. A fresh
+// journal makes Resume a journaled first run; reopening the journal of a
+// killed run re-executes only the steps the crash lost. The journal is a
+// memo table, not a transcript: a step whose inputs changed since it was
+// journaled (edited params, a re-run upstream step with different
+// outputs) is re-executed, and everything downstream of it follows.
+func (e *Engine) Resume(ctx context.Context, g *Graph, j *Journal) (*Result, error) {
+	if j == nil {
+		return nil, fmt.Errorf("workflow: Resume needs a journal")
+	}
+	return e.run(ctx, g, j)
+}
+
+func (e *Engine) run(ctx context.Context, g *Graph, j *Journal) (*Result, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -128,6 +162,7 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 			dependents[p] = append(dependents[p], id)
 		}
 	}
+	heights := criticalHeights(order, dependents, j)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -142,7 +177,7 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 			if runCtx.Err() != nil {
 				return
 			}
-			out, err := e.runTask(runCtx, g, id, res, &mu)
+			out, err := e.execTask(runCtx, g, id, res, &mu, j, heights[id])
 			if err != nil {
 				errCh <- fmt.Errorf("workflow: task %q: %w", id, err)
 				cancel()
@@ -201,11 +236,35 @@ func (e *Engine) Run(ctx context.Context, g *Graph) (*Result, error) {
 	return res, nil
 }
 
-// runTask assembles a task's inputs and executes its unit, falling back to
-// alternates on failure. Each task runs under its own span (child of the
-// run span), annotated with its unit and the upstream tasks it is cabled
-// to, so a trace tree mirrors the workflow graph.
-func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, mu *sync.Mutex) (Values, error) {
+// criticalHeights computes, per task, the length in steps of the longest
+// downstream chain that still has to execute (the task itself included).
+// Steps the journal already holds complete count zero: they replay in
+// microseconds, so the deadline split concerns only the unfinished DAG.
+func criticalHeights(order []string, dependents map[string][]string, j *Journal) map[string]int {
+	h := make(map[string]int, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		max := 0
+		for _, d := range dependents[id] {
+			if h[d] > max {
+				max = h[d]
+			}
+		}
+		self := 1
+		if j != nil {
+			if _, done := j.Completed(id); done {
+				self = 0
+			}
+		}
+		h[id] = max + self
+	}
+	return h
+}
+
+// assembleInputs gathers a task's input Values: its params overlaid with
+// every cabled upstream output. It returns the upstream task IDs for
+// span annotation.
+func assembleInputs(g *Graph, id string, res *Result, mu *sync.Mutex) (Values, []string, error) {
 	t := g.Task(id)
 	in := Values{}
 	for k, v := range t.Params {
@@ -213,25 +272,117 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 	}
 	var upstream []string
 	mu.Lock()
+	defer mu.Unlock()
 	for _, c := range g.Cables() {
 		if c.ToTask != id {
 			continue
 		}
 		src, ok := res.Outputs[c.FromTask]
 		if !ok {
-			mu.Unlock()
-			return nil, fmt.Errorf("internal: upstream %q not finished", c.FromTask)
+			return nil, nil, fmt.Errorf("internal: upstream %q not finished", c.FromTask)
 		}
 		v, ok := src[c.FromPort]
 		if !ok {
-			mu.Unlock()
-			return nil, fmt.Errorf("upstream %s produced no %q output", c.FromTask, c.FromPort)
+			return nil, nil, fmt.Errorf("upstream %s produced no %q output", c.FromTask, c.FromPort)
 		}
 		in[c.ToPort] = v
 		upstream = append(upstream, c.FromTask)
 	}
-	mu.Unlock()
+	return in, upstream, nil
+}
 
+// execTask assembles a task's inputs, replays it from the journal when
+// its digest matches a completed record, and otherwise executes it under
+// its deadline slice, journaling the terminal outcome.
+func (e *Engine) execTask(ctx context.Context, g *Graph, id string, res *Result, mu *sync.Mutex, j *Journal, height int) (Values, error) {
+	t := g.Task(id)
+	in, upstream, err := assembleInputs(g, id, res, mu)
+	if err != nil {
+		return nil, err
+	}
+	reg := e.obsReg()
+
+	var digest string
+	if j != nil {
+		digest = StepDigest(t.Unit, in)
+		if rec, ok := j.Completed(id); ok && rec.InputDigest == digest {
+			e.emit(Event{Kind: TaskReplayed, TaskID: id, UnitName: t.Unit.Name()})
+			reg.Counter("workflow_steps_resumed_total").Inc()
+			wfLog.Info(ctx, "replay", "id", id, "unit", t.Unit.Name(), "digest", digest)
+			out := Values{}
+			for k, v := range rec.Outputs {
+				out[k] = v
+			}
+			return out, nil
+		}
+	}
+
+	// Deadline budgeting: give the step its share of the time left,
+	// computed over the longest unfinished chain hanging off it. height
+	// <= 1 (a sink) gets everything that remains — same as no budget.
+	if dl, ok := ctx.Deadline(); ok && e.BudgetDeadlines {
+		remaining := time.Until(dl)
+		if remaining > 0 && height > 1 {
+			slice := remaining / time.Duration(height)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Now().Add(slice))
+			defer cancel()
+			reg.Histogram("workflow_step_budget_ms").Observe(float64(slice) / float64(time.Millisecond))
+		} else {
+			reg.Histogram("workflow_step_budget_ms").Observe(float64(remaining) / float64(time.Millisecond))
+		}
+	}
+
+	// Per-step hedge stats feed the journal record; fold them into any
+	// collector the caller attached so run-level totals still add up.
+	var hs resilience.HedgeStats
+	started := time.Now()
+	out, attempts, runErr := e.runTask(resilience.WithHedgeStats(ctx, &hs), g, id, in, upstream)
+	if outer, ok := resilience.HedgeStatsFrom(ctx); ok {
+		outer.Launched.Add(hs.Launched.Load())
+		outer.Wins.Add(hs.Wins.Load())
+	}
+
+	if j != nil {
+		rec := StepRecord{
+			Step:        id,
+			Unit:        t.Unit.Name(),
+			Status:      StepOK,
+			InputDigest: digest,
+			Outputs:     out,
+			Attempts:    attempts,
+			HedgeWins:   hs.Wins.Load(),
+			Started:     started,
+			WallMS:      float64(time.Since(started)) / float64(time.Millisecond),
+		}
+		if tc, ok := obs.TraceFrom(ctx); ok {
+			rec.TraceID = tc.TraceID
+		}
+		if runErr != nil {
+			rec.Status = StepFailed
+			rec.Outputs = nil
+			rec.Error = runErr.Error()
+		}
+		if jerr := j.Append(rec); jerr != nil {
+			// A journal that cannot persist a completed step must fail the
+			// run: pretending the step is durable would re-invoke it after
+			// a crash the caller believed it was protected from.
+			if runErr == nil {
+				return nil, jerr
+			}
+			wfLog.Warn(ctx, "journal_append", "id", id, "err", jerr)
+		}
+	}
+	return out, runErr
+}
+
+// runTask executes a task's unit on the assembled inputs, falling back
+// to alternates on failure. Each task runs under its own span (child of
+// the run span), annotated with its unit and the upstream tasks it is
+// cabled to, so a trace tree mirrors the workflow graph. It returns the
+// number of attempts consumed.
+func (e *Engine) runTask(ctx context.Context, g *Graph, id string, in Values, upstream []string) (Values, int, error) {
+	t := g.Task(id)
 	reg := e.obsReg()
 	ctx, span := obs.StartSpan(ctx, "workflow", "task:"+id)
 	span.SetAttr("unit", t.Unit.Name())
@@ -262,7 +413,7 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 			span.End(nil)
 			wfLog.Debug(ctx, "task", "id", id, "unit", u.Name(), "attempt", attempt,
 				"dur_ms", fmt.Sprintf("%.1f", float64(dur)/float64(time.Millisecond)))
-			return out, nil
+			return out, attempt + 1, nil
 		}
 		lastErr = err
 		e.emit(Event{Kind: TaskFailed, TaskID: id, UnitName: u.Name(), Attempt: attempt, Err: err, Duration: dur})
@@ -270,7 +421,7 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 		if ctx.Err() != nil {
 			reg.Counter("workflow_tasks_total", "status=cancelled").Inc()
 			span.End(ctx.Err())
-			return nil, ctx.Err()
+			return nil, attempt + 1, ctx.Err()
 		}
 		if attempt+1 < maxAttempts {
 			next := units[(attempt+1)%len(units)]
@@ -280,5 +431,5 @@ func (e *Engine) runTask(ctx context.Context, g *Graph, id string, res *Result, 
 	}
 	reg.Counter("workflow_tasks_total", "status=failed").Inc()
 	span.End(lastErr)
-	return nil, lastErr
+	return nil, maxAttempts, lastErr
 }

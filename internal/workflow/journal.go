@@ -1,0 +1,189 @@
+package workflow
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Step statuses recorded in the journal.
+const (
+	StepOK     = "ok"
+	StepFailed = "failed"
+)
+
+// StepRecord is one journal line: the terminal outcome of one task
+// execution, with enough state (the output Values) to replay the step on
+// resume without re-invoking its unit. InputDigest keys the memoization:
+// a resumed run replays a completed step only when the step would run
+// with byte-identical inputs, so editing an upstream param or dataset
+// invalidates everything downstream of it.
+type StepRecord struct {
+	Step        string    `json:"step"`
+	Unit        string    `json:"unit,omitempty"`
+	Status      string    `json:"status"`
+	InputDigest string    `json:"inputDigest"`
+	Outputs     Values    `json:"outputs,omitempty"`
+	Attempts    int       `json:"attempts"`
+	HedgeWins   int64     `json:"hedgeWins,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	Started     time.Time `json:"started"`
+	WallMS      float64   `json:"wallMs"`
+	TraceID     string    `json:"traceId,omitempty"`
+}
+
+// Journal is the append-only JSON-lines checkpoint of a workflow run.
+// Every terminal step outcome is one line, fsynced on write, so a killed
+// enactor loses at most the steps that were still in flight; reopening
+// the same path and passing it to Engine.Resume replays the completed
+// steps' outputs and re-runs only the rest. The format follows the
+// experiment journal: a torn final line — the signature of a SIGKILLed
+// writer — is truncated away on open so subsequent appends stay
+// well-formed.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	records []StepRecord
+	done    map[string]StepRecord // Step -> latest StepOK record
+}
+
+// OpenJournal opens (creating if absent) the step journal at path and
+// loads its existing records, dropping a torn or malformed tail.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, done: map[string]StepRecord{}}
+	var goodOffset int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break // no trailing newline: torn write, drop it
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("workflow: journal %s: %w", path, err)
+		}
+		var rec StepRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Step == "" {
+			break // malformed line: truncate from here
+		}
+		goodOffset += int64(len(line))
+		j.add(rec)
+	}
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workflow: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("workflow: journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+func (j *Journal) add(rec StepRecord) {
+	j.records = append(j.records, rec)
+	if rec.Status == StepOK {
+		j.done[rec.Step] = rec
+	}
+}
+
+// Append writes one record and syncs it to disk.
+func (j *Journal) Append(rec StepRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("workflow: journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("workflow: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("workflow: journal: %w", err)
+	}
+	j.add(rec)
+	return nil
+}
+
+// Completed returns the StepOK record for a step, if one exists.
+func (j *Journal) Completed(step string) (StepRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.done[step]
+	return rec, ok
+}
+
+// Records returns a copy of every journal record in append order.
+func (j *Journal) Records() []StepRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]StepRecord(nil), j.records...)
+}
+
+// Len returns the number of journal records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// StepDigest fingerprints a task execution: the unit's identity (its
+// serialised spec when it has one, its name otherwise) plus every input
+// value the step would run with, in sorted order. Two executions with
+// the same digest are interchangeable for memoization — same tool, same
+// configuration, same inputs.
+func StepDigest(u Unit, in Values) string {
+	h := sha256.New()
+	if sp, ok := u.(Specced); ok {
+		spec := sp.Spec()
+		writeKV(h, "kind", spec.Kind)
+		keys := make([]string, 0, len(spec.Config))
+		for k := range spec.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeKV(h, "cfg."+k, spec.Config[k])
+		}
+	} else {
+		writeKV(h, "unit", u.Name())
+	}
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeKV(h, "in."+k, in[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// writeKV hashes one length-prefixed key/value pair, so adjacent fields
+// cannot collide by concatenation.
+func writeKV(h io.Writer, k, v string) {
+	fmt.Fprintf(h, "%d:%s=%d:%s;", len(k), k, len(v), v)
+}

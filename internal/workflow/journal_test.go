@@ -1,0 +1,138 @@
+package workflow
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJournalAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []StepRecord{
+		{Step: "a", Unit: "A", Status: StepOK, InputDigest: "d1",
+			Outputs: Values{"x": "1"}, Attempts: 1, Started: time.Now(), WallMS: 1.5},
+		{Step: "b", Unit: "B", Status: StepFailed, InputDigest: "d2",
+			Error: "boom", Attempts: 3, Started: time.Now()},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reloaded %d records, want 2", j2.Len())
+	}
+	rec, ok := j2.Completed("a")
+	if !ok || rec.InputDigest != "d1" || rec.Outputs["x"] != "1" {
+		t.Fatalf("Completed(a) = %+v, %v", rec, ok)
+	}
+	// Failed steps must not be treated as complete.
+	if _, ok := j2.Completed("b"); ok {
+		t.Fatal("failed step b reported as completed")
+	}
+}
+
+// TestJournalTornTailRecovery: a journal whose final line was cut short
+// by a SIGKILL reopens cleanly, keeping every whole record and dropping
+// the torn one, and appends continue well-formed.
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []string{"a", "b", "c"} {
+		if err := j.Append(StepRecord{Step: step, Status: StepOK,
+			InputDigest: "d-" + step, Outputs: Values{"v": step}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at every byte boundary inside the final record.
+	lastLineStart := 0
+	for i := 0; i < len(raw)-1; i++ {
+		if raw[i] == '\n' {
+			lastLineStart = i + 1
+		}
+	}
+	for cut := lastLineStart + 1; cut < len(raw); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.jsonl")
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tj, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if tj.Len() != 2 {
+			t.Fatalf("cut %d: reloaded %d records, want 2", cut, tj.Len())
+		}
+		if _, ok := tj.Completed("c"); ok {
+			t.Fatalf("cut %d: torn record c reported complete", cut)
+		}
+		// The journal must keep accepting appends after truncation.
+		if err := tj.Append(StepRecord{Step: "c", Status: StepOK, InputDigest: "d-c",
+			Outputs: Values{"v": "c"}}); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		tj.Close()
+		tj2, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if _, ok := tj2.Completed("c"); !ok {
+			t.Fatalf("cut %d: rewritten record c lost", cut)
+		}
+		tj2.Close()
+	}
+}
+
+// TestStepDigestSensitivity: the digest must change with the unit's
+// configuration and with any input value, and must not depend on map
+// iteration order.
+func TestStepDigestSensitivity(t *testing.T) {
+	mk := func(vals Values) *ConstUnit {
+		return &ConstUnit{UnitName: "src", Values: vals}
+	}
+	base := StepDigest(mk(Values{"v": "1"}), Values{"a": "x", "b": "y"})
+	if got := StepDigest(mk(Values{"v": "1"}), Values{"b": "y", "a": "x"}); got != base {
+		t.Fatalf("digest depends on input insertion order: %s vs %s", got, base)
+	}
+	if got := StepDigest(mk(Values{"v": "2"}), Values{"a": "x", "b": "y"}); got == base {
+		t.Fatal("digest ignores unit config")
+	}
+	if got := StepDigest(mk(Values{"v": "1"}), Values{"a": "x", "b": "z"}); got == base {
+		t.Fatal("digest ignores input values")
+	}
+	// Key/value boundaries must not collide by concatenation.
+	if StepDigest(mk(Values{"v": "1"}), Values{"ab": "c"}) ==
+		StepDigest(mk(Values{"v": "1"}), Values{"a": "bc"}) {
+		t.Fatal("digest collides across key/value boundaries")
+	}
+	// Units without a Spec fall back to their name.
+	f1 := &FuncUnit{UnitName: "f1", Fn: func(ctx context.Context, in Values) (Values, error) { return nil, nil }}
+	f2 := &FuncUnit{UnitName: "f2", Fn: f1.Fn}
+	if StepDigest(f1, Values{}) == StepDigest(f2, Values{}) {
+		t.Fatal("digest ignores unit name for unspecced units")
+	}
+}

@@ -40,6 +40,15 @@ type SOAPUnit struct {
 	// Policy governs in-task retries across pool endpoints; nil uses the
 	// resilience defaults when a pool is active.
 	Policy *resilience.Policy
+	// Hedge enables tail-latency hedging when a registry pool is active:
+	// an attempt that outlives the hedge delay races a backup attempt on
+	// a different healthy endpoint, first success wins, loser cancelled.
+	// Setting it asserts the operation is idempotent — both attempts may
+	// execute to completion on different replicas.
+	Hedge bool
+	// HedgePolicy tunes the hedge delay; nil derives it from the pool's
+	// latency EWMA with the resilience defaults.
+	HedgePolicy *resilience.HedgePolicy
 
 	poolOnce sync.Once
 	pool     *resilience.Pool
@@ -90,12 +99,23 @@ func (u *SOAPUnit) Run(ctx context.Context, in Values) (Values, error) {
 	}
 	if pool := u.ensurePool(); pool != nil {
 		pool.MaybeRefresh(ctx)
+		var mu sync.Mutex
 		var out map[string]string
-		_, err := pool.Do(ctx, u.Policy, func(ctx context.Context, endpoint string) error {
-			var callErr error
-			out, callErr = call(ctx, endpoint)
+		attempt := func(ctx context.Context, endpoint string) error {
+			res, callErr := call(ctx, endpoint)
+			if callErr == nil {
+				mu.Lock()
+				out = res
+				mu.Unlock()
+			}
 			return callErr
-		})
+		}
+		var err error
+		if u.Hedge {
+			_, err = pool.DoHedged(ctx, u.Policy, u.HedgePolicy, attempt)
+		} else {
+			_, err = pool.Do(ctx, u.Policy, attempt)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +141,12 @@ func (u *SOAPUnit) Spec() Spec {
 	if u.Category != "" {
 		cfg["category"] = u.Category
 	}
+	if u.Hedge {
+		cfg["hedge"] = "true"
+		if u.HedgePolicy != nil && u.HedgePolicy.Delay > 0 {
+			cfg["hedgeDelay"] = u.HedgePolicy.Delay.String()
+		}
+	}
 	for i, p := range u.In {
 		cfg[fmt.Sprintf("in.%d", i)] = p
 	}
@@ -138,6 +164,14 @@ func init() {
 			Operation:   cfg["operation"],
 			RegistryURL: cfg["registry"],
 			Category:    cfg["category"],
+			Hedge:       cfg["hedge"] == "true",
+		}
+		if v := cfg["hedgeDelay"]; v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("workflow: soap unit hedgeDelay %q: %w", v, err)
+			}
+			u.HedgePolicy = &resilience.HedgePolicy{Delay: d}
 		}
 		for i := 0; ; i++ {
 			p, ok := cfg[fmt.Sprintf("in.%d", i)]

@@ -1,5 +1,5 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke in seven phases. Phase 1 covers the
+# scripts/smoke.sh — end-to-end smoke in eight phases. Phase 1 covers the
 # observability layer: start a real dmserver, probe /healthz and /metrics,
 # then run a small dmexp batch against the registry and check that ONE
 # trace ID crosses the client log, the server log and the journal.
@@ -22,7 +22,12 @@
 # Phase 7 covers replica churn + store GC: a ~30s dmsoak run — three
 # dmservers sharing a store directory, a SIGKILL every 10s, background
 # compaction enabled — must finish with zero failed requests, at least
-# one replica kill survived, and a nonzero GC byte reclaim.
+# one replica kill survived, and a nonzero GC byte reclaim. Phase 8
+# covers durable workflows: a journaled dmflow run trains a session on
+# one replica, is SIGKILLed while the classify step waits out injected
+# latency on a second replica, and the -resume re-run must finish by
+# replaying the journaled train step — proven by the first replica's
+# createSession counter standing still across the resume.
 # Run from the repo root.
 set -eu
 
@@ -35,8 +40,11 @@ FLOOD_PID=""
 REG2_PID=""
 REPA_PID=""
 REPB_PID=""
+WFA_PID=""
+WFB_PID=""
+DMFLOW_PID=""
 cleanup() {
-	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID" "$FLOOD_PID" "$REG2_PID" "$REPA_PID" "$REPB_PID"; do
+	for pid in "$SERVER_PID" "$REG_PID" "$GOOD_PID" "$BAD_PID" "$FLOOD_PID" "$REG2_PID" "$REPA_PID" "$REPB_PID" "$WFA_PID" "$WFB_PID" "$DMFLOW_PID"; do
 		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
 	done
 	rm -rf "$WORK"
@@ -555,4 +563,147 @@ if [ -z "$reclaimed" ] || [ "$reclaimed" -lt 1 ]; then
 fi
 
 echo "smoke: phase 7 ok (kills=$kills survived, failed=0, gc reclaimed ${reclaimed}B)"
+
+# ---------------------------------------------------------------------------
+# Phase 8: durable workflow resume. Two dmservers share a model store; a
+# journaled dmflow run trains a session on the fast replica and then
+# classifies on a replica whose classify op carries 3s of injected
+# latency. dmflow is SIGKILLed mid-classify — after the train step was
+# journaled — and re-run with -resume. The resumed run must complete,
+# print the labels, and must NOT re-invoke createSession: the trained
+# step replays from the journal, proven by the fast replica's
+# soap_server_requests_total{op=createSession} counter standing still.
+go build -o "$WORK/dmflow" ./cmd/dmflow
+
+WFSTORE="$WORK/wfstore"
+"$WORK/dmserver" -addr 127.0.0.1:0 -store-dir "$WFSTORE" >"$WORK/wfA.log" 2>&1 &
+WFA_PID=$!
+"$WORK/dmserver" -addr 127.0.0.1:0 -store-dir "$WFSTORE" \
+	-chaos 'op=classify,latency=3s' >"$WORK/wfB.log" 2>&1 &
+WFB_PID=$!
+WFA=""
+WFB=""
+i=0
+while [ $i -lt 100 ]; do
+	WFA=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/wfA.log" | head -1)
+	WFB=$(sed -n 's|^dmserver listening on \(http://[^ ]*\).*|\1|p' "$WORK/wfB.log" | head -1)
+	[ -n "$WFA" ] && [ -n "$WFB" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$WFA" ] || [ -z "$WFB" ]; then
+	echo "smoke: phase-8 dmservers did not start" >&2
+	cat "$WORK/wfA.log" "$WORK/wfB.log" >&2
+	exit 1
+fi
+
+# The workflow: one embedded dataset feeding createSession on the fast
+# replica, whose session token cables into classify on the slow one.
+cat >"$WORK/wf.xml" <<EOF
+<?xml version="1.0" encoding="UTF-8"?>
+<workflow name="smoke-resume">
+  <task id="data">
+    <unit kind="const">
+      <config name="name">dataset-source</config>
+      <config name="value.dataset">$(cat "$WORK/breast.arff")</config>
+    </unit>
+  </task>
+  <task id="train">
+    <unit kind="soap">
+      <config name="endpoint">$WFA/services/Session</config>
+      <config name="service">Session</config>
+      <config name="operation">createSession</config>
+      <config name="in.0">dataset</config>
+      <config name="in.1">classifier</config>
+      <config name="in.2">attribute</config>
+      <config name="out.0">session</config>
+    </unit>
+    <param name="classifier">J48</param>
+    <param name="attribute">Class</param>
+  </task>
+  <task id="score">
+    <unit kind="soap">
+      <config name="endpoint">$WFB/services/Session</config>
+      <config name="service">Session</config>
+      <config name="operation">classify</config>
+      <config name="in.0">session</config>
+      <config name="in.1">instances</config>
+      <config name="out.0">labels</config>
+    </unit>
+  </task>
+  <cable fromTask="data" fromPort="dataset" toTask="train" toPort="dataset"/>
+  <cable fromTask="data" fromPort="dataset" toTask="score" toPort="instances"/>
+  <cable fromTask="train" fromPort="session" toTask="score" toPort="session"/>
+</workflow>
+EOF
+
+# First run: journaled, killed the hard way once the train step lands in
+# the journal (the classify step is then waiting out the 3s of chaos).
+"$WORK/dmflow" -sequential -journal "$WORK/wf.jsonl" "$WORK/wf.xml" \
+	>"$WORK/wf1.out" 2>"$WORK/wf1.err" &
+DMFLOW_PID=$!
+i=0
+while [ $i -lt 100 ]; do
+	grep '"step":"train"' "$WORK/wf.jsonl" 2>/dev/null | grep -q '"status":"ok"' && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if ! grep '"step":"train"' "$WORK/wf.jsonl" 2>/dev/null | grep -q '"status":"ok"'; then
+	echo "smoke: train step never reached the journal" >&2
+	cat "$WORK/wf1.err" "$WORK/wf.jsonl" 2>/dev/null >&2
+	exit 1
+fi
+kill -9 "$DMFLOW_PID" 2>/dev/null || true
+wait "$DMFLOW_PID" 2>/dev/null || true
+DMFLOW_PID=""
+if grep '"step":"score"' "$WORK/wf.jsonl" | grep -q '"status":"ok"'; then
+	echo "smoke: score step completed before the kill; injected latency too low" >&2
+	exit 1
+fi
+
+# Snapshot the fast replica's createSession count before the resume.
+curl -fsS "$WFA/metrics" >"$WORK/wfA-metrics-1.json"
+trains_before=$(sed -n 's/.*"soap_server_requests_total{op=createSession,service=Session}": *\([0-9]*\).*/\1/p' "$WORK/wfA-metrics-1.json" | head -1)
+if [ -z "$trains_before" ] || [ "$trains_before" -lt 1 ]; then
+	echo "smoke: fast replica shows createSession=$trains_before before resume, want >= 1" >&2
+	cat "$WORK/wfA-metrics-1.json" >&2
+	exit 1
+fi
+
+# Resume: the journaled data/train steps must replay, score must run.
+"$WORK/dmflow" -sequential -journal "$WORK/wf.jsonl" -resume "$WORK/wf.xml" \
+	>"$WORK/wf2.out" 2>"$WORK/wf2.err" || {
+	echo "smoke: resumed dmflow run failed" >&2
+	cat "$WORK/wf2.err" >&2
+	exit 1
+}
+if ! grep -q "\[replayed\] train" "$WORK/wf2.err"; then
+	echo "smoke: resumed run did not replay the train step" >&2
+	cat "$WORK/wf2.err" >&2
+	exit 1
+fi
+labels=$(sed -n '/^=== score.labels ===$/,$p' "$WORK/wf2.out" | grep -c 'recurrence\|no-recurrence') || labels=0
+if [ "$labels" -lt 1 ]; then
+	echo "smoke: resumed run produced no labels" >&2
+	cat "$WORK/wf2.out" >&2
+	exit 1
+fi
+
+# The replay must have spared the service: createSession count unchanged.
+curl -fsS "$WFA/metrics" >"$WORK/wfA-metrics-2.json"
+trains_after=$(sed -n 's/.*"soap_server_requests_total{op=createSession,service=Session}": *\([0-9]*\).*/\1/p' "$WORK/wfA-metrics-2.json" | head -1)
+if [ "$trains_after" != "$trains_before" ]; then
+	echo "smoke: resume re-invoked createSession ($trains_before -> $trains_after)" >&2
+	exit 1
+fi
+
+# -report renders the journal: every step ok after the resumed run.
+"$WORK/dmflow" -journal "$WORK/wf.jsonl" -report >"$WORK/wf-report.out"
+if ! grep -q "3 completed, " "$WORK/wf-report.out"; then
+	echo "smoke: journal report does not show 3 completed steps" >&2
+	cat "$WORK/wf-report.out" >&2
+	exit 1
+fi
+
+echo "smoke: phase 8 ok (train journaled once, resume replayed it, createSession=$trains_after unchanged)"
 echo "smoke: ok"

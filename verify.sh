@@ -4,7 +4,8 @@
 # registry sweep races under -race), then the end-to-end smoke: live
 # dmserver probes, traced dmexp batch, chaos failover, the admission
 # flood + graceful-drain drill, the model-store replica-failover drill,
-# the 1024-row dmb1 classifyBatch drill, and the 30s replica-churn soak.
+# the 1024-row dmb1 classifyBatch drill, the 30s replica-churn soak, and
+# the journaled-workflow kill/resume drill.
 # Run from the repo root.
 set -eux
 
@@ -60,5 +61,14 @@ rm -f "$SOAK_OUT"
 # (built on first access, invalidated by row mutation) must hold under
 # the race detector.
 go test -race ./internal/wire/ ./internal/dataset/
+
+# Durable workflows and hedged dispatch get their own -race pass: the
+# crash-at-every-step resume sweep, the journal torn-tail recovery, and
+# the hedged-race cancellation/goroutine-leak checks must hold when the
+# parallel scheduler and the hedge race actually interleave. The -short
+# gate re-runs just the resume and hedge suites as a quick regression
+# anchor.
+go test -race ./internal/workflow/ ./internal/resilience/
+go test -short -run 'Resume|Hedge|Journal' ./internal/workflow/ ./internal/resilience/
 
 ./scripts/smoke.sh

@@ -185,6 +185,28 @@ func main() {
 		"per-call XML envelopes cap scoring throughput; one columnar block amortises parse, model restore and dispatch over N rows",
 		strings.Join(batchLines, "; "))
 
+	// Batched clustering: per-instance textual assign vs one clusterBatch.
+	pr.BatchCluster = batchClusterExperiment(dep)
+	var clusterLines []string
+	for _, b := range pr.BatchCluster {
+		clusterLines = append(clusterLines, fmt.Sprintf("N=%d: XML %.0f rows/s vs dmb1 %.0f rows/s (%.1fx)",
+			b.BatchSize, b.XMLRowsPerSec, b.DMB1RowsPerSec, b.Speedup))
+	}
+	report("—", "Batched clustering (clusterBatch/DMC1)",
+		"per-instance assign calls re-ship the build set and rebuild the model every row; clusterBatch builds once and assigns the block columnar",
+		strings.Join(clusterLines, "; "))
+
+	// Batched filtering: the ARFF apply round-trip vs one filterBatch hop.
+	pr.BatchFilter = batchFilterExperiment(dep)
+	var filterLines []string
+	for _, b := range pr.BatchFilter {
+		filterLines = append(filterLines, fmt.Sprintf("N=%d: XML %.0f rows/s vs dmb1 %.0f rows/s (%.1fx)",
+			b.BatchSize, b.XMLRowsPerSec, b.DMB1RowsPerSec, b.Speedup))
+	}
+	report("—", "Batched filtering (filterBatch/dmb1)",
+		"the textual apply op formats and re-parses ARFF at both ends of every hop; filterBatch moves the same rows as one binary block",
+		strings.Join(filterLines, "; "))
+
 	// Model store: snapshot codec throughput and warm resume vs cold retrain.
 	pr.Store = storeExperiment()
 	var storeLines []string
@@ -281,6 +303,8 @@ type parallelReport struct {
 	Note          string               `json:"note"`
 	Kernels       []kernelResult       `json:"kernels"`
 	Batch         []batchResult        `json:"batch,omitempty"`
+	BatchCluster  []batchResult        `json:"batch_cluster,omitempty"`
+	BatchFilter   []batchResult        `json:"batch_filter,omitempty"`
 	Store         []storeResult        `json:"store,omitempty"`
 	StoreGC       *storeGCResult       `json:"store_gc,omitempty"`
 	WorkflowHedge *workflowHedgeResult `json:"workflow_hedge,omitempty"`
@@ -392,6 +416,138 @@ func batchExperiment(dep *core.Deployment) []batchResult {
 				if _, err := client.Classify(ctx, token, one); err != nil {
 					log.Fatal(err)
 				}
+			}
+		}
+		xmlSec := time.Since(began).Seconds() / float64(runs)
+
+		out = append(out, batchResult{
+			BatchSize:      n,
+			XMLRowsPerSec:  float64(n) / xmlSec,
+			DMB1RowsPerSec: float64(n) / dmb1Sec,
+			Speedup:        xmlSec / dmb1Sec,
+		})
+	}
+	return out
+}
+
+// batchClusterExperiment measures clustering throughput both ways the
+// services offer it: the textual composition (one assign call per row,
+// each shipping the full build-set ARFF and rebuilding the model — what
+// chaining XML services costs) against one clusterBatch call (build set
+// once, all rows as a single dmb1 block, one columnar assignment pass).
+func batchClusterExperiment(dep *core.Deployment) []batchResult {
+	build := datagen.GaussianClusters(3, 96, 6, 3.0, 42)
+	pool := datagen.GaussianClusters(3, 1024, 6, 3.0, 7)
+	client := core.NewClient(dep.BaseURL)
+	ctx := context.Background()
+	buildARFF := arff.Format(build)
+	url := dep.EndpointURL("Clusterer")
+
+	// Reusable single-row dataset for the per-instance XML calls.
+	one := pool.CloneSchema()
+	one.MustAdd(pool.Instances[0])
+
+	var out []batchResult
+	for _, n := range []int{1, 64, 1024} {
+		batch := pool.CloneSchema()
+		for i := 0; i < n; i++ {
+			batch.MustAdd(pool.Instances[i])
+		}
+		runs := 3
+		if n >= 1024 {
+			runs = 1
+		}
+		opts := core.ClusterBatchOptions{
+			Batch: batch, Train: build,
+			Clusterer: "SimpleKMeans", Options: map[string]string{"k": "3"},
+		}
+
+		if _, err := client.ClusterBatch(ctx, opts); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		began := time.Now()
+		for r := 0; r < runs; r++ {
+			res, err := client.ClusterBatch(ctx, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.Assignments) != n {
+				log.Fatalf("clusterBatch returned %d assignments for %d rows", len(res.Assignments), n)
+			}
+		}
+		dmb1Sec := time.Since(began).Seconds() / float64(runs)
+
+		began = time.Now()
+		for r := 0; r < runs; r++ {
+			for i := 0; i < n; i++ {
+				one.Instances[0] = batch.Instances[i]
+				if _, err := soap.CallContext(ctx, url, "assign", map[string]string{
+					"dataset":   buildARFF,
+					"instances": arff.Format(one),
+					"clusterer": "SimpleKMeans",
+					"options":   "k=3",
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		xmlSec := time.Since(began).Seconds() / float64(runs)
+
+		out = append(out, batchResult{
+			BatchSize:      n,
+			XMLRowsPerSec:  float64(n) / xmlSec,
+			DMB1RowsPerSec: float64(n) / dmb1Sec,
+			Speedup:        xmlSec / dmb1Sec,
+		})
+	}
+	return out
+}
+
+// batchFilterExperiment measures one filter hop both ways: the textual
+// apply op (format N rows as ARFF, parse the transformed ARFF reply —
+// the serialisation a chained pipeline pays at every stage) against
+// filterBatch moving the same rows as a dmb1 block each way.
+func batchFilterExperiment(dep *core.Deployment) []batchResult {
+	pool := datagen.GaussianClusters(3, 1024, 6, 3.0, 11)
+	client := core.NewClient(dep.BaseURL)
+	ctx := context.Background()
+	url := dep.EndpointURL("Filter")
+
+	var out []batchResult
+	for _, n := range []int{1, 64, 1024} {
+		batch := pool.CloneSchema()
+		for i := 0; i < n; i++ {
+			batch.MustAdd(pool.Instances[i])
+		}
+		runs := 5
+		fopts := core.FilterBatchOptions{Dataset: batch, Filter: "Normalize"}
+
+		if _, err := client.FilterBatch(ctx, fopts); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		began := time.Now()
+		for r := 0; r < runs; r++ {
+			res, err := client.FilterBatch(ctx, fopts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Rows != n {
+				log.Fatalf("filterBatch returned %d rows for %d", res.Rows, n)
+			}
+		}
+		dmb1Sec := time.Since(began).Seconds() / float64(runs)
+
+		began = time.Now()
+		for r := 0; r < runs; r++ {
+			reply, err := soap.CallContext(ctx, url, "apply", map[string]string{
+				"dataset": arff.Format(batch),
+				"filter":  "Normalize",
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := arff.ParseString(reply["arff"]); err != nil {
+				log.Fatal(err)
 			}
 		}
 		xmlSec := time.Since(began).Seconds() / float64(runs)

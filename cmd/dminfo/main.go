@@ -46,7 +46,7 @@ func main() {
 	asDMB1 := flag.Bool("dmb1", false, "dump the dataset as a base64 dmb1 block instead of the statistics block")
 	tile := flag.Int("tile", 0, "replicate the dataset's rows round-robin until it has N rows (for building batch payloads)")
 	storeDir := flag.String("store", "", "list the snapshots of a content-addressed model store directory")
-	decodeDMB1 := flag.String("decode-dmb1", "", "decode a captured dmb1/dmr1 payload file (raw bytes or base64 text) and print a summary")
+	decodeDMB1 := flag.String("decode-dmb1", "", "decode a captured payload file — dmb1 dataset, dmr1/DMC1/DMV1 result block (raw bytes or base64 text) — and print a summary")
 	flag.Parse()
 
 	if *decodeDMB1 != "" {
@@ -184,8 +184,9 @@ func tileRows(d *dataset.Dataset, n int) *dataset.Dataset {
 	return out
 }
 
-// decodePayload prints a human-readable summary of a captured dmb1
-// dataset block or dmr1 result block. SOAP envelopes carry the payload
+// decodePayload prints a human-readable summary of a captured payload
+// block: a dmb1 dataset, a dmr1 classification result, a DMC1 cluster
+// result or a DMV1 regression result. SOAP envelopes carry the payload
 // part base64-encoded; the file may hold either that text or the raw
 // bytes after decoding — both are accepted.
 func decodePayload(path string, asARFF bool) error {
@@ -210,7 +211,8 @@ func decodePayload(path string, asARFF bool) error {
 		fmt.Printf("\nRelation: %s\n\n", d.Relation)
 		fmt.Print(dataset.Summarize(d).Format())
 		return nil
-	} else if res, rerr := wire.UnmarshalResult(raw); rerr == nil {
+	}
+	if res, err := wire.UnmarshalResult(raw); err == nil {
 		fmt.Printf("dmr1 result block: %d bytes, %d row(s), %d class(es): %s\n",
 			len(raw), len(res.Labels), len(res.Classes), strings.Join(res.Classes, ", "))
 		counts := make([]int, len(res.Classes))
@@ -221,9 +223,49 @@ func decodePayload(path string, asARFF bool) error {
 			fmt.Printf("  %-20s %d\n", name, counts[i])
 		}
 		return nil
-	} else {
-		return fmt.Errorf("not a decodable payload: as dmb1: %v; as dmr1: %v", err, rerr)
 	}
+	if res, err := wire.UnmarshalClusterResult(raw); err == nil {
+		kind := res.ScoreKind
+		if kind == "" {
+			kind = "(none)"
+		}
+		fmt.Printf("DMC1 cluster result block: %d bytes, %d row(s), %d cluster(s), score columns: %s\n",
+			len(raw), len(res.Assignments), res.Clusters, kind)
+		counts := map[int]int{}
+		for _, a := range res.Assignments {
+			counts[a]++
+		}
+		for cl := -1; cl < res.Clusters; cl++ {
+			if counts[cl] == 0 {
+				continue
+			}
+			name := fmt.Sprintf("cluster %d", cl)
+			if cl < 0 {
+				name = "noise"
+			}
+			fmt.Printf("  %-20s %d\n", name, counts[cl])
+		}
+		return nil
+	}
+	if res, err := wire.UnmarshalRegressResult(raw); err == nil {
+		fmt.Printf("DMV1 regression result block: %d bytes, %d row(s), target %s\n",
+			len(raw), len(res.Values), res.Target)
+		if len(res.Values) > 0 {
+			min, max, sum := res.Values[0], res.Values[0], 0.0
+			for _, v := range res.Values {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+				sum += v
+			}
+			fmt.Printf("  min %.4g  mean %.4g  max %.4g\n", min, sum/float64(len(res.Values)), max)
+		}
+		return nil
+	}
+	return fmt.Errorf("not a decodable payload (tried dmb1, dmr1, DMC1, DMV1)")
 }
 
 // payloadBytes undoes the SOAP transport encoding if present: if the

@@ -13,7 +13,6 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/arff"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -37,29 +36,30 @@ func main() {
 	fmt.Printf("stage 1: %s, %d train / %d test\n", full.Relation,
 		train.NumInstances(), test.NumInstances())
 
-	// Stage 2: algorithm selection from the live service.
+	// Stage 2: algorithm selection from the live service, through the
+	// typed client rather than raw SOAP parts.
+	client := core.NewClient(dep.BaseURL)
+	offered, err := client.Classifiers(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 2: service offers %d algorithms\n", len(offered))
+	candidates := []string{"ZeroR", "OneR", "NaiveBayes", "J48"}
+
+	// Stage 3: resource selection via the registry.
 	entry, ok := dep.Registry.Get("Classifier")
 	if !ok {
 		log.Fatal("Classifier not registered")
 	}
-	out, err := soap.CallContext(context.Background(), entry.Endpoint, "getClassifiers", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	offered := strings.Split(strings.TrimSpace(out["classifiers"]), "\n")
-	fmt.Printf("stage 2: service offers %d algorithms\n", len(offered))
-	candidates := []string{"ZeroR", "OneR", "NaiveBayes", "J48"}
-
-	// Stage 3: resource selection via the registry (already resolved above).
 	fmt.Printf("stage 3: resource %s\n", entry.Endpoint)
 
-	// Stages 4-5: execute each candidate remotely, then verify locally on
-	// the held-out share.
-	trainARFF := arff.Format(train.Clone())
+	// Stages 4-5: execute each candidate remotely (TrainAt against the
+	// registry-selected endpoint), then verify locally on the held-out
+	// share.
 	var plotPoints strings.Builder
 	for i, name := range candidates {
-		if _, err := soap.CallContext(context.Background(), entry.Endpoint, "classifyInstance", map[string]string{
-			"dataset": trainARFF, "classifier": name, "attribute": "Class",
+		if _, err := client.TrainAt(context.Background(), entry.Endpoint, core.TrainOptions{
+			Dataset: train, Classifier: name, Class: "Class",
 		}); err != nil {
 			log.Fatalf("remote %s: %v", name, err)
 		}

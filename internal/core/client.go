@@ -303,7 +303,7 @@ func (c *Client) TrainClassifyBatch(ctx context.Context, o TrainOptions, v *data
 // marshalView encodes a view's selection as a base64 dmb1 block.
 func marshalView(v *dataset.View) (string, int, error) {
 	if v == nil {
-		return "", 0, fmt.Errorf("dm: ClassifyBatch needs a non-nil view")
+		return "", 0, fmt.Errorf("dm: batch call needs a non-nil view")
 	}
 	d := v.Materialize()
 	payload, err := wire.MarshalBase64(d)

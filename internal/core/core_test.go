@@ -77,8 +77,8 @@ func TestToolboxArchitecture(t *testing.T) {
 func TestRegistryRoundtrip(t *testing.T) {
 	d := deploy(t)
 	entries := d.Registry.Inquire("", "")
-	if len(entries) != 13 {
-		t.Fatalf("registry holds %d services, want 13", len(entries))
+	if len(entries) != 14 {
+		t.Fatalf("registry holds %d services, want 14", len(entries))
 	}
 	classifiers := d.Registry.Inquire("", "classifier")
 	if len(classifiers) != 2 { // Classifier + J48

@@ -195,6 +195,7 @@ func Deploy(addr string, backend harness.Backend, opts ...Option) (*Deployment, 
 		services.NewAttributeSelectionService(),
 		services.NewDataConvertService(nil),
 		services.NewFilterService(),
+		services.NewRegressorService(),
 		services.NewDataAccessService(db),
 		services.NewSessionService(backend),
 		services.NewPlotService(),

@@ -154,8 +154,8 @@ func TestImportFromRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Clusterer (3 ops) + Cobweb (2 ops).
-	if len(names) != 5 {
+	// Clusterer (5 ops) + Cobweb (2 ops).
+	if len(names) != 7 {
 		t.Fatalf("imported %v", names)
 	}
 	if _, err := tk.NewUnit("Cobweb.getCobwebGraph"); err != nil {

@@ -123,6 +123,22 @@ func FromColumns(relation string, attrs []*Attribute, classIndex int, cols [][]f
 	return d, nil
 }
 
+// ColumnsCopy returns a deep copy of the column mirror, every attribute's
+// slice carved from one fresh slab. It is the starting point for
+// shape-preserving columnar filters: transform the copy in place, then
+// hand it to FromColumns without ever touching the input's backing.
+func (d *Dataset) ColumnsCopy() [][]float64 {
+	src := d.Columns()
+	n, m := len(d.Instances), len(d.Attrs)
+	slab := make([]float64, n*m)
+	cols := make([][]float64, m)
+	for j := range cols {
+		cols[j] = slab[j*n : (j+1)*n : (j+1)*n]
+		copy(cols[j], src[j])
+	}
+	return cols
+}
+
 // WeightsSlice returns every instance weight as one slice (a copy).
 func (d *Dataset) WeightsSlice() []float64 {
 	out := make([]float64, len(d.Instances))

@@ -1,0 +1,223 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// BatchApplier marks filters with a columnar fast path. ApplyBatch must
+// produce a dataset bit-identical to Apply — same schema, same cells,
+// same weights — but built column-first (dataset.FromColumns), so a
+// filterBatch service hop decodes a dmb1 block, transforms the column
+// copy in place, and re-encodes without ever materialising ARFF text.
+type BatchApplier interface {
+	Filter
+	ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error)
+}
+
+// ApplyColumns transforms d with f over the columnar batch path when f
+// implements BatchApplier, falling back to the row path otherwise.
+// Inputs are never mutated either way.
+func ApplyColumns(f Filter, d *dataset.Dataset) (*dataset.Dataset, error) {
+	if ba, ok := f.(BatchApplier); ok {
+		return ba.ApplyBatch(d)
+	}
+	return f.Apply(d)
+}
+
+// cloneAttrs deep-copies the schema for a filter output.
+func cloneAttrs(d *dataset.Dataset) []*dataset.Attribute {
+	attrs := make([]*dataset.Attribute, len(d.Attrs))
+	for i, a := range d.Attrs {
+		attrs[i] = a.Clone()
+	}
+	return attrs
+}
+
+// ApplyBatch implements BatchApplier. The rescale statistics come from
+// the same NumericColumn scan the row path uses, so min/max — and every
+// (v-min)/span cell — are bit-identical; only the write loop differs,
+// transforming a column copy in place.
+func (Normalize) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cols := d.ColumnsCopy()
+	for c, a := range d.Attrs {
+		if c == d.ClassIndex || !a.IsNumeric() {
+			continue
+		}
+		vals := d.NumericColumn(c)
+		if len(vals) == 0 {
+			continue
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+		span := max - min
+		for i, v := range cols[c] {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if span == 0 {
+				cols[c][i] = 0
+			} else {
+				cols[c][i] = (v - min) / span
+			}
+		}
+	}
+	return dataset.FromColumns(d.Relation, cloneAttrs(d), d.ClassIndex, cols, d.WeightsSlice())
+}
+
+// ApplyBatch implements BatchApplier (see Normalize.ApplyBatch; the
+// mean/variance accumulation is the row path's, in the same order).
+func (Standardize) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cols := d.ColumnsCopy()
+	for c, a := range d.Attrs {
+		if c == d.ClassIndex || !a.IsNumeric() {
+			continue
+		}
+		vals := d.NumericColumn(c)
+		if len(vals) < 2 {
+			continue
+		}
+		var sum, sumSq float64
+		for _, v := range vals {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(vals))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		sd := math.Sqrt(math.Max(variance, 0))
+		for i, v := range cols[c] {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if sd == 0 {
+				cols[c][i] = 0
+			} else {
+				cols[c][i] = (v - mean) / sd
+			}
+		}
+	}
+	return dataset.FromColumns(d.Relation, cloneAttrs(d), d.ClassIndex, cols, d.WeightsSlice())
+}
+
+// ApplyBatch implements BatchApplier. Means and modes come from the same
+// NumericColumn/ValueCounts scans as the row path (ascending-index mode
+// tie-break), so the fills are bit-identical.
+func (ReplaceMissing) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cols := d.ColumnsCopy()
+	for c, a := range d.Attrs {
+		if c == d.ClassIndex {
+			continue
+		}
+		var fill float64
+		switch {
+		case a.IsNumeric():
+			vals := d.NumericColumn(c)
+			if len(vals) == 0 {
+				continue
+			}
+			var sum float64
+			for _, v := range vals {
+				sum += v
+			}
+			fill = sum / float64(len(vals))
+		case a.IsNominal():
+			counts := d.ValueCounts(c)
+			best, bestW := -1, -1.0
+			for v, w := range counts {
+				if w > bestW {
+					best, bestW = v, w
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			fill = float64(best)
+		default:
+			continue
+		}
+		for i, v := range cols[c] {
+			if dataset.IsMissing(v) {
+				cols[c][i] = fill
+			}
+		}
+	}
+	return dataset.FromColumns(d.Relation, cloneAttrs(d), d.ClassIndex, cols, d.WeightsSlice())
+}
+
+// ApplyBatch implements BatchApplier for the schema-changing case: the
+// cutpoints and output schema come from the shared plan, then each
+// target column is binned in place on the copy.
+func (f *Discretize) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	target, cuts, attrs, err := f.plan(d)
+	if err != nil {
+		return nil, err
+	}
+	cols := d.ColumnsCopy()
+	for c := range target {
+		for i, v := range cols[c] {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			cols[c][i] = float64(binOf(cuts[c], v))
+		}
+	}
+	return dataset.FromColumns(d.Relation, attrs, d.ClassIndex, cols, d.WeightsSlice())
+}
+
+// projectColumns builds a column-backed projection onto keep — the
+// batch-path twin of dataset.Project.
+func projectColumns(d *dataset.Dataset, keep []int) (*dataset.Dataset, error) {
+	src := d.Columns()
+	rows := d.NumInstances()
+	attrs := make([]*dataset.Attribute, len(keep))
+	cols := make([][]float64, len(keep))
+	slab := make([]float64, rows*len(keep))
+	classAt := -1
+	for i, c := range keep {
+		attrs[i] = d.Attrs[c].Clone()
+		cols[i] = slab[i*rows : (i+1)*rows : (i+1)*rows]
+		copy(cols[i], src[c])
+		if c == d.ClassIndex {
+			classAt = i
+		}
+	}
+	return dataset.FromColumns(d.Relation, attrs, classAt, cols, d.WeightsSlice())
+}
+
+// ApplyBatch implements BatchApplier via column projection.
+func (f RemoveAttributes) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	keep, err := f.keepColumns(d)
+	if err != nil {
+		return nil, err
+	}
+	return projectColumns(d, keep)
+}
+
+// ApplyBatch implements BatchApplier via column projection.
+func (f KeepAttributes) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	keep, err := f.keepColumns(d)
+	if err != nil {
+		return nil, err
+	}
+	return projectColumns(d, keep)
+}
+
+// ApplyBatch implements BatchApplier: every stage runs its own columnar
+// fast path, so a whole chain transforms blocks without a single row
+// materialisation.
+func (c Chain) ApplyBatch(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cur := d
+	for _, f := range c {
+		next, err := ApplyColumns(f, cur)
+		if err != nil {
+			return nil, fmt.Errorf("filter: %s: %w", f.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

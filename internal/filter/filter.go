@@ -38,6 +38,31 @@ func (f *Discretize) Name() string { return "Discretize" }
 
 // Apply implements Filter.
 func (f *Discretize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	target, cuts, attrs, err := f.plan(d)
+	if err != nil {
+		return nil, err
+	}
+	out := dataset.New(d.Relation, attrs...)
+	out.ClassIndex = d.ClassIndex
+	for _, in := range d.Instances {
+		vals := make([]float64, len(in.Values))
+		copy(vals, in.Values)
+		for c := range target {
+			v := in.Values[c]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			vals[c] = float64(binOf(cuts[c], v))
+		}
+		out.Instances = append(out.Instances, &dataset.Instance{Values: vals, Weight: in.Weight})
+	}
+	return out, nil
+}
+
+// plan computes the target columns, their cutpoints, and the output
+// schema — shared by the row path and the columnar batch path so both
+// bin against identical boundaries.
+func (f *Discretize) plan(d *dataset.Dataset) (map[int]bool, map[int][]float64, []*dataset.Attribute, error) {
 	bins := f.Bins
 	if bins <= 0 {
 		bins = 10
@@ -46,10 +71,10 @@ func (f *Discretize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 	if f.Columns != nil {
 		for _, c := range f.Columns {
 			if c < 0 || c >= d.NumAttributes() {
-				return nil, fmt.Errorf("filter: column %d out of range", c)
+				return nil, nil, nil, fmt.Errorf("filter: column %d out of range", c)
 			}
 			if !d.Attrs[c].IsNumeric() {
-				return nil, fmt.Errorf("filter: column %d (%s) is not numeric", c, d.Attrs[c].Name)
+				return nil, nil, nil, fmt.Errorf("filter: column %d (%s) is not numeric", c, d.Attrs[c].Name)
 			}
 			target[c] = true
 		}
@@ -118,21 +143,7 @@ func (f *Discretize) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 		}
 		attrs[c] = dataset.NewNominalAttribute(a.Name, labels...)
 	}
-	out := dataset.New(d.Relation, attrs...)
-	out.ClassIndex = d.ClassIndex
-	for _, in := range d.Instances {
-		vals := make([]float64, len(in.Values))
-		copy(vals, in.Values)
-		for c := range target {
-			v := in.Values[c]
-			if dataset.IsMissing(v) {
-				continue
-			}
-			vals[c] = float64(binOf(cuts[c], v))
-		}
-		out.Instances = append(out.Instances, &dataset.Instance{Values: vals, Weight: in.Weight})
-	}
-	return out, nil
+	return target, cuts, attrs, nil
 }
 
 func binOf(cuts []float64, v float64) int {
@@ -257,6 +268,9 @@ func (ReplaceMissing) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 			}
 			fill = sum / float64(len(vals))
 		case a.IsNominal():
+			// Ascending scan with a strict > makes the mode tie-break
+			// deterministic (smallest index wins) — the batch path
+			// reproduces it exactly.
 			counts := out.ValueCounts(c)
 			best, bestW := -1, -1.0
 			for v, w := range counts {
@@ -292,6 +306,16 @@ func (RemoveAttributes) Name() string { return "Remove" }
 
 // Apply implements Filter.
 func (f RemoveAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	keep, err := f.keepColumns(d)
+	if err != nil {
+		return nil, err
+	}
+	return d.Project(keep)
+}
+
+// keepColumns resolves the surviving column indices — shared by the row
+// path and the columnar batch path.
+func (f RemoveAttributes) keepColumns(d *dataset.Dataset) ([]int, error) {
 	drop := map[string]bool{}
 	for _, n := range f.Names {
 		a, i := d.AttributeByName(n)
@@ -309,7 +333,7 @@ func (f RemoveAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 			keep = append(keep, i)
 		}
 	}
-	return d.Project(keep)
+	return keep, nil
 }
 
 // KeepAttributes is the complement of RemoveAttributes: it projects onto
@@ -323,6 +347,16 @@ func (KeepAttributes) Name() string { return "Keep" }
 
 // Apply implements Filter.
 func (f KeepAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	cols, err := f.keepColumns(d)
+	if err != nil {
+		return nil, err
+	}
+	return d.Project(cols)
+}
+
+// keepColumns resolves the surviving column indices — shared by the row
+// path and the columnar batch path.
+func (f KeepAttributes) keepColumns(d *dataset.Dataset) ([]int, error) {
 	var cols []int
 	for _, n := range f.Names {
 		_, i := d.AttributeByName(n)
@@ -343,7 +377,7 @@ func (f KeepAttributes) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 		}
 	}
 	sort.Ints(cols)
-	return d.Project(cols)
+	return cols, nil
 }
 
 // Chain applies filters in order.

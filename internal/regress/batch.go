@@ -1,0 +1,196 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// BatchPredictor marks regressors with a columnar prediction fast path.
+// PredictBatch must produce values bit-identical to calling Predict on
+// every row — the batch path is an optimisation, never a different model
+// — which the column-outer loops below achieve by preserving the row
+// path's per-row float accumulation order exactly.
+type BatchPredictor interface {
+	Regressor
+	// PredictBatch predicts every row of d in one columnar pass.
+	PredictBatch(d *dataset.Dataset) ([]float64, error)
+}
+
+// PredictBatch predicts every row of d with r: the columnar batch path
+// when r implements BatchPredictor, otherwise the per-row Predict loop.
+func PredictBatch(r Regressor, d *dataset.Dataset) ([]float64, error) {
+	if bp, ok := r.(BatchPredictor); ok {
+		return bp.PredictBatch(d)
+	}
+	out := make([]float64, d.NumInstances())
+	for i, in := range d.Instances {
+		y, err := r.Predict(in)
+		if err != nil {
+			return nil, fmt.Errorf("regress: row %d: %w", i, err)
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// PredictBatch implements BatchPredictor. Every prediction starts from
+// the intercept and adds weighted features column-outer; since feature
+// offsets are assigned in ascending column order and a nominal column
+// sets exactly one one-hot feature, the per-row addition order matches
+// Predict's ascending-feature-index loop, making the sums bit-identical.
+func (lr *LinearRegression) PredictBatch(d *dataset.Dataset) ([]float64, error) {
+	if lr.weights == nil {
+		return nil, fmt.Errorf("regress: LinearRegression is untrained")
+	}
+	rows := d.NumInstances()
+	dcols := d.Columns()
+	out := make([]float64, rows)
+	intercept := lr.weights[lr.width]
+	for i := range out {
+		out[i] = intercept
+	}
+	for col, a := range lr.schema.Attrs {
+		off := lr.offset[col]
+		if off < 0 || col >= len(dcols) {
+			continue
+		}
+		if a.IsNumeric() {
+			w := lr.weights[off]
+			for i, v := range dcols[col] {
+				if dataset.IsMissing(v) || v == 0 {
+					continue
+				}
+				out[i] += w * v
+			}
+			continue
+		}
+		for i, v := range dcols[col] {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			// Mirrors encode's truncating index conversion exactly; the
+			// one-hot value is 1, and w*1 == w bitwise.
+			if idx := int(v); idx >= 0 && idx < a.NumValues() {
+				out[i] += lr.weights[off+idx]
+			}
+		}
+	}
+	return out, nil
+}
+
+// PredictBatch implements BatchPredictor. Distances accumulate
+// column-outer into a query x case matrix — per (query, case) pair the
+// additions happen in the same ascending-column order as the row path's
+// distance loop — then each query replays Predict's exact neighbour
+// sort and (optionally distance-weighted) mean.
+func (k *KNNRegressor) PredictBatch(d *dataset.Dataset) ([]float64, error) {
+	if k.schema == nil {
+		return nil, fmt.Errorf("regress: KNNRegressor is untrained")
+	}
+	nq := d.NumInstances()
+	out := make([]float64, nq)
+	if nq == 0 {
+		return out, nil
+	}
+	// Labelled training cases in row order, as Predict enumerates them.
+	var caseRows []int
+	var ys []float64
+	for j, c := range k.schema.Instances {
+		y := c.Values[k.schema.ClassIndex]
+		if dataset.IsMissing(y) {
+			continue
+		}
+		caseRows = append(caseRows, j)
+		ys = append(ys, y)
+	}
+	if len(caseRows) == 0 {
+		return nil, fmt.Errorf("regress: no labelled neighbours")
+	}
+	nc := len(caseRows)
+	qcols := d.Columns()
+	ccols := k.schema.Columns()
+	acc := make([]float64, nq*nc)
+	for col, attr := range k.schema.Attrs {
+		if col == k.schema.ClassIndex {
+			continue
+		}
+		if col >= len(qcols) {
+			return nil, fmt.Errorf("regress: KNNRegressor was fitted on column %d; batch has only %d attributes",
+				col, len(qcols))
+		}
+		qc, cc := qcols[col], ccols[col]
+		numeric := attr.IsNumeric()
+		span := 0.0
+		if numeric {
+			span = k.max[col] - k.min[col]
+		}
+		for i := 0; i < nq; i++ {
+			av := qc[i]
+			avMissing := dataset.IsMissing(av)
+			row := acc[i*nc : (i+1)*nc]
+			switch {
+			case avMissing:
+				// Either side missing bumps the distance by one — before
+				// the numeric span check, exactly as the row path orders it.
+				for j := range row {
+					row[j]++
+				}
+			case numeric && span <= 0:
+				for j := 0; j < nc; j++ {
+					if dataset.IsMissing(cc[caseRows[j]]) {
+						row[j]++
+					}
+				}
+			case numeric:
+				for j := 0; j < nc; j++ {
+					bv := cc[caseRows[j]]
+					if dataset.IsMissing(bv) {
+						row[j]++
+						continue
+					}
+					diff := (av - bv) / span
+					row[j] += diff * diff
+				}
+			default:
+				for j := 0; j < nc; j++ {
+					bv := cc[caseRows[j]]
+					if dataset.IsMissing(bv) {
+						row[j]++
+						continue
+					}
+					if av != bv {
+						row[j]++
+					}
+				}
+			}
+		}
+	}
+	type nb struct {
+		d, y float64
+	}
+	nbs := make([]nb, nc)
+	for i := 0; i < nq; i++ {
+		for j := 0; j < nc; j++ {
+			nbs[j] = nb{math.Sqrt(acc[i*nc+j]), ys[j]}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+		kk := k.K
+		if kk > nc {
+			kk = nc
+		}
+		var sum, wsum float64
+		for x := 0; x < kk; x++ {
+			w := 1.0
+			if k.DistanceWeight {
+				w = 1 / (nbs[x].d + 1e-9)
+			}
+			sum += w * nbs[x].y
+			wsum += w
+		}
+		out[i] = sum / wsum
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// regressTestData builds a mixed-schema numeric-target workload with
+// missing cells in both features and target.
+func regressTestData(t *testing.T, rows int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New("rents",
+		dataset.NewNumericAttribute("size"),
+		dataset.NewNominalAttribute("area", "north", "south", "centre"),
+		dataset.NewNumericAttribute("age"),
+		dataset.NewNumericAttribute("rent"),
+	)
+	d.ClassIndex = 3
+	for i := 0; i < rows; i++ {
+		size := 20 + rng.Float64()*100
+		area := float64(rng.Intn(3))
+		age := float64(rng.Intn(80))
+		rent := 8*size + 150*area - 2*age + rng.NormFloat64()*25
+		vals := []float64{size, area, age, rent}
+		for j := 0; j < 3; j++ {
+			if rng.Intn(12) == 0 {
+				vals[j] = dataset.Missing
+			}
+		}
+		if rng.Intn(15) == 0 {
+			vals[3] = dataset.Missing
+		}
+		if err := d.Add(dataset.NewInstance(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestBatchMatchesRowPathAllRegressors is the sweep gate for the
+// BatchPredictor contract: for every registered regressor, PredictBatch
+// must equal per-row Predict bit for bit, on both row-backed and
+// column-backed batches.
+func TestBatchMatchesRowPathAllRegressors(t *testing.T) {
+	train := regressTestData(t, 60, 4)
+	batch := regressTestData(t, 40, 11)
+	for _, name := range Names() {
+		r, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Train(train); err != nil {
+			t.Fatalf("%s: train: %v", name, err)
+		}
+		for _, d := range []*dataset.Dataset{train, batch} {
+			want := make([]float64, d.NumInstances())
+			for i, in := range d.Instances {
+				want[i], err = r.Predict(in)
+				if err != nil {
+					t.Fatalf("%s: row %d: %v", name, i, err)
+				}
+			}
+			got, err := PredictBatch(r, d)
+			if err != nil {
+				t.Fatalf("%s: batch: %v", name, err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s row %d: batch %v, row path %v", name, i, got[i], want[i])
+				}
+			}
+			// Column-first backing, the layout a dmb1 decode produces.
+			cd, err := dataset.FromColumns(d.Relation, d.Attrs, d.ClassIndex, d.Columns(), d.WeightsSlice())
+			if err != nil {
+				t.Fatal(err)
+			}
+			colGot, err := PredictBatch(r, cd)
+			if err != nil {
+				t.Fatalf("%s: column-backed batch: %v", name, err)
+			}
+			for i := range want {
+				if math.Float64bits(colGot[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s row %d: column-backed batch %v, want %v", name, i, colGot[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDistanceWeightedKNN re-runs the sweep with the k-NN options
+// changed, so the weighted-mean tail is held to the same contract.
+func TestBatchDistanceWeightedKNN(t *testing.T) {
+	train := regressTestData(t, 50, 7)
+	k := &KNNRegressor{K: 5, DistanceWeight: true}
+	if err := k.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	batch := regressTestData(t, 30, 13)
+	got, err := k.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range batch.Instances {
+		want, err := k.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: batch %v, row path %v", i, got[i], want)
+		}
+	}
+}
+
+// TestPredictBatchUntrained pins the untrained error on both fast paths.
+func TestPredictBatchUntrained(t *testing.T) {
+	d := regressTestData(t, 5, 1)
+	if _, err := (&LinearRegression{}).PredictBatch(d); err == nil {
+		t.Error("untrained LinearRegression batch succeeded")
+	}
+	if _, err := (&KNNRegressor{}).PredictBatch(d); err == nil {
+		t.Error("untrained KNNRegressor batch succeeded")
+	}
+}
+
+// TestPredictBatchRejectsNarrowSchema: a wire-decoded batch narrower
+// than the fitted schema must error, not panic.
+func TestPredictBatchRejectsNarrowSchema(t *testing.T) {
+	train := regressTestData(t, 40, 2)
+	narrow, err := train.Project([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &KNNRegressor{K: 3}
+	if err := k.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.PredictBatch(narrow); err == nil {
+		t.Error("narrow batch accepted by KNNRegressor")
+	}
+}
+
+// TestRegistry pins the registry surface the Regressor service exposes.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 2 || names[0] != "KNNRegressor" || names[1] != "LinearRegression" {
+		t.Fatalf("Names() = %v", names)
+	}
+	r, err := New("LinearRegression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := r.(Parameterized)
+	if !ok {
+		t.Fatal("LinearRegression is not Parameterized")
+	}
+	if err := p.SetOption("ridge", "0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetOption("ridge", "-1"); err == nil {
+		t.Error("negative ridge accepted")
+	}
+	if err := p.SetOption("nope", "1"); err == nil {
+		t.Error("unknown option accepted")
+	}
+	if _, err := New("GradientBoost"); err == nil {
+		t.Error("unknown regressor constructed")
+	}
+	k, _ := New("KNNRegressor")
+	kp := k.(Parameterized)
+	if err := kp.SetOption("k", "5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.SetOption("distanceWeight", "true"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.SetOption("k", "0"); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if len(kp.Options()) == 0 {
+		t.Error("KNNRegressor reports no options")
+	}
+}

@@ -3,12 +3,45 @@ package services
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/soap"
 	"repro/internal/viz"
+	"repro/internal/wire"
 )
+
+// clustererFromParts constructs and configures the named clusterer from
+// the clusterer/options request parts — shared by every op that builds a
+// model.
+func clustererFromParts(parts map[string]string) (cluster.Clusterer, string, error) {
+	name, err := require(parts, "clusterer")
+	if err != nil {
+		return nil, "", err
+	}
+	c, err := cluster.New(name)
+	if err != nil {
+		return nil, "", &soap.Fault{Code: "soap:Client", String: err.Error()}
+	}
+	opts, err := parseOptions(parts, "options")
+	if err != nil {
+		return nil, "", err
+	}
+	if len(opts) > 0 {
+		p, ok := c.(cluster.Parameterized)
+		if !ok {
+			return nil, "", &soap.Fault{Code: "soap:Client",
+				String: fmt.Sprintf("clusterer %s accepts no options", name)}
+		}
+		for k, v := range opts {
+			if err := p.SetOption(k, v); err != nil {
+				return nil, "", &soap.Fault{Code: "soap:Client", String: err.Error()}
+			}
+		}
+	}
+	return c, name, nil
+}
 
 // NewClustererService builds the general Clustering Web Service (§4.1 names
 // clustering as the second service family):
@@ -16,6 +49,9 @@ import (
 //	getClusterers                      -> algorithm names
 //	getOptions(clusterer)              -> JSON option descriptors
 //	cluster(dataset, clusterer, options) -> textual clustering summary
+//	assign(dataset, instances, clusterer, options) -> per-row labels (XML twin
+//	                                                  of clusterBatch)
+//	clusterBatch(dataset?, clusterer, options, payload) -> DMC1 result block
 func NewClustererService() *Service {
 	return Register(ServiceDesc{
 		Name:     "Clusterer",
@@ -66,29 +102,9 @@ func NewClustererService() *Service {
 					if err != nil {
 						return nil, err
 					}
-					name, err := require(parts, "clusterer")
+					c, name, err := clustererFromParts(parts)
 					if err != nil {
 						return nil, err
-					}
-					c, err := cluster.New(name)
-					if err != nil {
-						return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-					}
-					opts, err := parseOptions(parts, "options")
-					if err != nil {
-						return nil, err
-					}
-					if len(opts) > 0 {
-						p, ok := c.(cluster.Parameterized)
-						if !ok {
-							return nil, &soap.Fault{Code: "soap:Client",
-								String: fmt.Sprintf("clusterer %s accepts no options", name)}
-						}
-						for k, v := range opts {
-							if err := p.SetOption(k, v); err != nil {
-								return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
-							}
-						}
 					}
 					if err := cluster.BuildWith(ctx, c, d); err != nil {
 						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
@@ -110,6 +126,93 @@ func NewClustererService() *Service {
 						out["silhouette"] = fmt.Sprintf("%.4f", sil)
 					}
 					return out, nil
+				},
+			},
+			{
+				Name: "assign",
+				Doc: "Build a clusterer on the dataset and label the given instances " +
+					"(one textual label per line). The per-instance XML twin of " +
+					"clusterBatch — prefer clusterBatch for bulk scoring.",
+				In:  []string{PartDataset, PartInstances, PartClusterer, PartOptions},
+				Out: []string{PartLabels, PartClusters},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					d, err := parseDataset(parts, "dataset")
+					if err != nil {
+						return nil, err
+					}
+					c, _, err := clustererFromParts(parts)
+					if err != nil {
+						return nil, err
+					}
+					if err := cluster.BuildWith(ctx, c, d); err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					score := d
+					if optional(parts, PartInstances) != "" {
+						if score, err = parseDataset(parts, PartInstances); err != nil {
+							return nil, err
+						}
+					}
+					labels := make([]string, score.NumInstances())
+					for i, in := range score.Instances {
+						cl, err := c.Assign(in)
+						if err != nil {
+							return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+						}
+						labels[i] = strconv.Itoa(cl)
+					}
+					return map[string]string{
+						PartLabels:   strings.Join(labels, "\n"),
+						PartClusters: strconv.Itoa(c.NumClusters()),
+					}, nil
+				},
+			},
+			{
+				Name: "clusterBatch",
+				Doc: "Build a clusterer (on the optional ARFF dataset part, else on the " +
+					"payload itself) and assign every payload row in one columnar pass. " +
+					"The payload is a base64 dmb1 block; the reply is a DMC1 result " +
+					"block: assignments plus per-cluster distance or responsibility " +
+					"columns when the algorithm provides them.",
+				In:  []string{PartDataset, PartClusterer, PartOptions, PartPayload, PartEncoding},
+				Out: []string{PartPayload, PartRows, PartClusters, PartEncoding},
+				Handle: func(ctx context.Context, parts map[string]string) (map[string]string, error) {
+					batch, err := decodeBatchPayload(parts, "clusterBatch")
+					if err != nil {
+						return nil, err
+					}
+					c, _, err := clustererFromParts(parts)
+					if err != nil {
+						return nil, err
+					}
+					build := batch
+					if optional(parts, PartDataset) != "" {
+						if build, err = parseDataset(parts, PartDataset); err != nil {
+							return nil, err
+						}
+					}
+					if err := cluster.BuildWith(ctx, c, build); err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					assign, scores, kind, err := cluster.AssignAll(c, batch)
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					res, err := wire.MarshalClusterResultBase64(&wire.ClusterResult{
+						Clusters:    c.NumClusters(),
+						ScoreKind:   kind.String(),
+						Assignments: assign,
+						Scores:      scores,
+					})
+					if err != nil {
+						return nil, &soap.Fault{Code: "soap:Server", String: err.Error()}
+					}
+					return map[string]string{
+						PartPayload:  res,
+						PartRows:     strconv.Itoa(len(assign)),
+						PartClusters: strconv.Itoa(c.NumClusters()),
+						PartEncoding: wire.Encoding,
+					}, nil
 				},
 			},
 		},

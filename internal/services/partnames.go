@@ -54,6 +54,8 @@ const (
 	PartPlot           = "plot"
 	PartPoints         = "points"
 	PartRanking        = "ranking"
+	PartRegressor      = "regressor"
+	PartRegressors     = "regressors"
 	PartRelation       = "relation"
 	PartRoot           = "root"
 	PartRows           = "rows"
@@ -100,6 +102,7 @@ var knownPartNames = map[string]bool{
 	PartMinSupport: true, PartMissing: true, PartModel: true,
 	PartOptions: true, PartParallelism: true, PartPayload: true,
 	PartPlot: true, PartPoints: true, PartRanking: true,
+	PartRegressor: true, PartRegressors: true,
 	PartRelation: true, PartRoot: true, PartRows: true,
 	PartRuleCount: true, PartRules: true, PartSchema: true,
 	PartSearch: true, PartSeed: true, PartSelected: true,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataaccess"
 	"repro/internal/harness"
+	"repro/internal/wsdl"
 )
 
 // allServices constructs every deployable service, mirroring the
@@ -20,6 +21,7 @@ func allServices() []*Service {
 		NewAttributeSelectionService(),
 		NewDataConvertService(nil),
 		NewFilterService(),
+		NewRegressorService(),
 		NewDataAccessService(dataaccess.NewDatabase()),
 		NewSessionService(backend),
 		NewPlotService(),
@@ -53,17 +55,19 @@ func TestOpPartNamesAreRegistered(t *testing.T) {
 }
 
 // TestBinaryPartsTypedInWSDL pins the WSDL typing of base64 parts: any
-// op that outputs payload or image must describe it as base64Binary.
+// op that takes or returns payload or image must describe it as
+// base64Binary — inputs matter now that filterBatch, clusterBatch and
+// regressBatch accept blocks.
 func TestBinaryPartsTypedInWSDL(t *testing.T) {
 	for _, svc := range allServices() {
 		for _, op := range svc.Desc.Ops {
-			for _, p := range op.Outputs {
+			for _, p := range append(append([]wsdl.Part(nil), op.Inputs...), op.Outputs...) {
 				want := ""
 				if binaryParts[p.Name] {
 					want = "base64Binary"
 				}
 				if p.Type != want {
-					t.Errorf("%s.%s output %q typed %q, want %q", svc.Name, op.Name, p.Name, p.Type, want)
+					t.Errorf("%s.%s part %q typed %q, want %q", svc.Name, op.Name, p.Name, p.Type, want)
 				}
 			}
 		}

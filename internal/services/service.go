@@ -76,13 +76,19 @@ func Register(desc ServiceDesc) *Service {
 		}
 		ep.Handle(op.Name, op.Handle)
 		wop := wsdl.Operation{Name: op.Name, Doc: op.Doc}
+		// Binary parts travel base64-encoded — "image" (plotPNG,
+		// plot3D) and "payload" (dmb1/result batch blocks) — and the
+		// WSDL types them base64Binary instead of string, on inputs
+		// (filterBatch, clusterBatch, regressBatch take blocks in) as
+		// well as outputs.
 		for _, p := range op.In {
-			wop.Inputs = append(wop.Inputs, wsdl.Part{Name: p})
+			typ := ""
+			if binaryParts[p] {
+				typ = "base64Binary"
+			}
+			wop.Inputs = append(wop.Inputs, wsdl.Part{Name: p, Type: typ})
 		}
 		for _, p := range op.Out {
-			// Binary parts travel base64-encoded — "image" (plotPNG,
-			// plot3D) and "payload" (dmb1 batch blocks) — and the WSDL
-			// types them base64Binary instead of string.
 			typ := ""
 			if binaryParts[p] {
 				typ = "base64Binary"

@@ -1,0 +1,298 @@
+package wire
+
+import "encoding/base64"
+
+// Result-block kinds beyond classification. clusterBatch replies carry a
+// "DMC1" block (per-row cluster assignments plus one score column per
+// cluster — centroid distances or mixture responsibilities), regressBatch
+// replies a "DMV1" block (one predicted-value column). filterBatch needs
+// no sibling: its output is a transformed dataset, so it ships a plain
+// dmb1 block back.
+
+const (
+	magicCluster = "DMC1"
+	magicRegress = "DMV1"
+
+	// noAssign encodes a negative assignment (DBSCAN noise) on the wire.
+	noAssign = 0xFFFFFFFF
+)
+
+// Score-kind names for ClusterResult.ScoreKind: what the per-cluster
+// score columns measure.
+const (
+	ScoreNone           = ""
+	ScoreDistance       = "distance"       // euclidean distance to each centroid
+	ScoreResponsibility = "responsibility" // posterior probability of each component
+)
+
+func scoreKindCode(k string) (uint8, error) {
+	switch k {
+	case ScoreNone:
+		return 0, nil
+	case ScoreDistance:
+		return 1, nil
+	case ScoreResponsibility:
+		return 2, nil
+	default:
+		return 0, errf("unknown score kind %q", k)
+	}
+}
+
+func scoreKindFromCode(c uint8) (string, error) {
+	switch c {
+	case 0:
+		return ScoreNone, nil
+	case 1:
+		return ScoreDistance, nil
+	case 2:
+		return ScoreResponsibility, nil
+	default:
+		return "", errf("unknown score kind code %d", c)
+	}
+}
+
+// ClusterResult is the decoded form of a DMC1 cluster-assignment block:
+// one cluster index per input row (negative = noise), plus — when the
+// assigner produces them — one score column per cluster.
+type ClusterResult struct {
+	Clusters    int
+	ScoreKind   string      // ScoreNone, ScoreDistance or ScoreResponsibility
+	Assignments []int       // per-row cluster index; < 0 encodes noise
+	Scores      [][]float64 // Scores[c][i]; len == Clusters iff ScoreKind != ScoreNone
+}
+
+// MarshalClusterResult encodes a clustering result as one DMC1 block:
+//
+//	"DMC1" u8 version
+//	u8  scoreKind     0 none, 1 distance, 2 responsibility
+//	u32 clusters
+//	u32 rows
+//	assignment block: u32 byte length, rows u32 indices (0xFFFFFFFF = noise)
+//	per cluster:      length-prefixed float64 column, present iff scoreKind != 0
+func MarshalClusterResult(res *ClusterResult) ([]byte, error) {
+	rows := len(res.Assignments)
+	if res.Clusters < 0 {
+		return nil, errf("negative cluster count %d", res.Clusters)
+	}
+	kc, err := scoreKindCode(res.ScoreKind)
+	if err != nil {
+		return nil, err
+	}
+	if kc == 0 {
+		if len(res.Scores) != 0 {
+			return nil, errf("%d score columns with no score kind", len(res.Scores))
+		}
+	} else {
+		if len(res.Scores) != res.Clusters {
+			return nil, errf("%d score columns for %d clusters", len(res.Scores), res.Clusters)
+		}
+		for c, col := range res.Scores {
+			if len(col) != rows {
+				return nil, errf("cluster %d score column has %d rows, want %d", c, len(col), rows)
+			}
+		}
+	}
+	w := &writer{buf: make([]byte, 0, 16+4*rows+8*rows*len(res.Scores))}
+	w.buf = append(w.buf, magicCluster...)
+	w.u8(version)
+	w.u8(kc)
+	w.u32(uint32(res.Clusters))
+	w.u32(uint32(rows))
+	w.u32(uint32(4 * rows))
+	for _, a := range res.Assignments {
+		if a < 0 {
+			w.u32(noAssign)
+			continue
+		}
+		if a >= res.Clusters {
+			return nil, errf("assignment %d out of range for %d clusters", a, res.Clusters)
+		}
+		w.u32(uint32(a))
+	}
+	for _, col := range res.Scores {
+		writeColumn(w, col)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalClusterResult decodes one DMC1 block.
+func UnmarshalClusterResult(b []byte) (*ClusterResult, error) {
+	r := &reader{buf: b}
+	if err := r.need(4); err != nil {
+		return nil, err
+	}
+	if string(r.buf[:4]) != magicCluster {
+		return nil, errf("bad magic %q, want %q", r.buf[:4], magicCluster)
+	}
+	r.off = 4
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, errf("unsupported dmc1 version %d", v)
+	}
+	kc, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := scoreKindFromCode(kc)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if clusters > 1<<24 {
+		return nil, errf("cluster count %d exceeds limit", clusters)
+	}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBlockBytes {
+		return nil, errf("assignment block of %d bytes exceeds limit", n)
+	}
+	if int(n) != 4*int(rows) {
+		return nil, errf("assignment block is %d bytes, want %d for %d rows", n, 4*rows, rows)
+	}
+	assign := make([]int, rows)
+	for i := range assign {
+		a, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if a == noAssign {
+			assign[i] = -1
+			continue
+		}
+		if a >= clusters {
+			return nil, errf("row %d assignment %d out of range for %d clusters", i, a, clusters)
+		}
+		assign[i] = int(a)
+	}
+	var scores [][]float64
+	if kind != ScoreNone {
+		if uint64(clusters)*uint64(rows)*8 > maxBlockBytes {
+			return nil, errf("%d clusters x %d rows of scores exceeds payload limit", clusters, rows)
+		}
+		scores = make([][]float64, clusters)
+		for c := range scores {
+			scores[c], err = readColumn(r, int(rows))
+			if err != nil {
+				return nil, errf("cluster %d scores: %v", c, err)
+			}
+		}
+	}
+	if r.off != len(b) {
+		return nil, errf("%d trailing bytes after cluster result", len(b)-r.off)
+	}
+	return &ClusterResult{
+		Clusters:    int(clusters),
+		ScoreKind:   kind,
+		Assignments: assign,
+		Scores:      scores,
+	}, nil
+}
+
+// RegressResult is the decoded form of a DMV1 regression-prediction
+// block: the target attribute's name and one predicted value per row.
+type RegressResult struct {
+	Target string
+	Values []float64
+}
+
+// MarshalRegressResult encodes predictions as one DMV1 block:
+//
+//	"DMV1" u8 version
+//	str target        the attribute the predictions estimate
+//	u32 rows
+//	length-prefixed float64 column of rows predictions
+func MarshalRegressResult(res *RegressResult) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 16+len(res.Target)+8*len(res.Values))}
+	w.buf = append(w.buf, magicRegress...)
+	w.u8(version)
+	w.str(res.Target)
+	w.u32(uint32(len(res.Values)))
+	writeColumn(w, res.Values)
+	return w.buf, nil
+}
+
+// UnmarshalRegressResult decodes one DMV1 block.
+func UnmarshalRegressResult(b []byte) (*RegressResult, error) {
+	r := &reader{buf: b}
+	if err := r.need(4); err != nil {
+		return nil, err
+	}
+	if string(r.buf[:4]) != magicRegress {
+		return nil, errf("bad magic %q, want %q", r.buf[:4], magicRegress)
+	}
+	r.off = 4
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, errf("unsupported dmv1 version %d", v)
+	}
+	target, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(rows)*8 > maxBlockBytes {
+		return nil, errf("%d rows exceeds payload limit", rows)
+	}
+	vals, err := readColumn(r, int(rows))
+	if err != nil {
+		return nil, errf("predictions: %v", err)
+	}
+	if r.off != len(b) {
+		return nil, errf("%d trailing bytes after regression result", len(b)-r.off)
+	}
+	return &RegressResult{Target: target, Values: vals}, nil
+}
+
+// MarshalClusterResultBase64 encodes a cluster result base64-wrapped.
+func MarshalClusterResultBase64(res *ClusterResult) (string, error) {
+	b, err := MarshalClusterResult(res)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b), nil
+}
+
+// UnmarshalClusterResultBase64 decodes a base64-wrapped DMC1 block.
+func UnmarshalClusterResultBase64(s string) (*ClusterResult, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, errf("cluster result is not valid base64: %v", err)
+	}
+	return UnmarshalClusterResult(b)
+}
+
+// MarshalRegressResultBase64 encodes a regression result base64-wrapped.
+func MarshalRegressResultBase64(res *RegressResult) (string, error) {
+	b, err := MarshalRegressResult(res)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b), nil
+}
+
+// UnmarshalRegressResultBase64 decodes a base64-wrapped DMV1 block.
+func UnmarshalRegressResultBase64(s string) (*RegressResult, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, errf("regression result is not valid base64: %v", err)
+	}
+	return UnmarshalRegressResult(b)
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# scripts/smoke.sh — end-to-end smoke in eight phases. Phase 1 covers the
+# scripts/smoke.sh — end-to-end smoke in nine phases. Phase 1 covers the
 # observability layer: start a real dmserver, probe /healthz and /metrics,
 # then run a small dmexp batch against the registry and check that ONE
 # trace ID crosses the client log, the server log and the journal.
@@ -27,7 +27,11 @@
 # one replica, is SIGKILLed while the classify step waits out injected
 # latency on a second replica, and the -resume re-run must finish by
 # replaying the journaled train step — proven by the first replica's
-# createSession counter standing still across the resume.
+# createSession counter standing still across the resume. Phase 9
+# covers the chained binary pipeline: a 1024-row dmb1 block through a
+# live filterBatch (Normalize) whose reply payload cables straight into
+# clusterBatch — no ARFF between hops — with the DMC1 reply decoded by
+# dminfo and the per-op batch_rows_total counters asserted.
 # Run from the repo root.
 set -eu
 
@@ -706,4 +710,65 @@ if ! grep -q "3 completed, " "$WORK/wf-report.out"; then
 fi
 
 echo "smoke: phase 8 ok (train journaled once, resume replayed it, createSession=$trains_after unchanged)"
+
+# ---------------------------------------------------------------------------
+# Phase 9: chained binary pipeline. A 1024-row weather-numeric dmb1
+# block goes through the phase-1 dmserver's Filter service as ONE
+# filterBatch call (Normalize); the reply payload — still a dmb1 block,
+# no ARFF materialised — cables directly into a clusterBatch call on the
+# Clusterer service. The DMC1 reply must decode to 1024 assignments
+# across 2 clusters, and /metrics must show both batch ops counted
+# their rows.
+"$WORK/dminfo" -embedded weather-numeric -tile 1024 -dmb1 >"$WORK/pipe.b64"
+
+"$WORK/dmclient" -url "$BASE/services/Filter" -op filterBatch \
+	-timeout 30s -part filter=Normalize -part encoding=dmb1 \
+	-file "payload=$WORK/pipe.b64" >"$WORK/pipe-f.out" 2>"$WORK/pipe-f.err" || {
+	echo "smoke: filterBatch failed" >&2
+	cat "$WORK/pipe-f.out" "$WORK/pipe-f.err" >&2
+	exit 1
+}
+frows=$(sed -n '/^=== rows ===$/{n;p;}' "$WORK/pipe-f.out")
+if [ "$frows" != 1024 ]; then
+	echo "smoke: filterBatch returned rows=$frows, want 1024" >&2
+	cat "$WORK/pipe-f.out" >&2
+	exit 1
+fi
+sed -n '/^=== payload ===$/{n;p;}' "$WORK/pipe-f.out" >"$WORK/pipe-filtered.b64"
+
+# Hop 2: the filtered block is the clusterBatch payload, byte for byte.
+"$WORK/dmclient" -url "$BASE/services/Clusterer" -op clusterBatch \
+	-timeout 30s -part clusterer=SimpleKMeans -part 'options={"k":"2"}' \
+	-part encoding=dmb1 -file "payload=$WORK/pipe-filtered.b64" \
+	>"$WORK/pipe-c.out" 2>"$WORK/pipe-c.err" || {
+	echo "smoke: clusterBatch on the filtered payload failed" >&2
+	cat "$WORK/pipe-c.out" "$WORK/pipe-c.err" >&2
+	exit 1
+}
+crows=$(sed -n '/^=== rows ===$/{n;p;}' "$WORK/pipe-c.out")
+if [ "$crows" != 1024 ]; then
+	echo "smoke: clusterBatch returned rows=$crows, want 1024" >&2
+	cat "$WORK/pipe-c.out" >&2
+	exit 1
+fi
+sed -n '/^=== payload ===$/{n;p;}' "$WORK/pipe-c.out" >"$WORK/pipe-result.b64"
+"$WORK/dminfo" -decode-dmb1 "$WORK/pipe-result.b64" >"$WORK/pipe-result.txt"
+if ! grep -q "DMC1 cluster result block: .* 1024 row(s), 2 cluster(s)" "$WORK/pipe-result.txt"; then
+	echo "smoke: chained reply did not decode to a 1024-row 2-cluster DMC1 block" >&2
+	cat "$WORK/pipe-result.txt" >&2
+	exit 1
+fi
+
+# Both hops must have counted their rows on the server.
+curl -fsS "$BASE/metrics" >"$WORK/pipe-metrics.json"
+for op in filterBatch clusterBatch; do
+	n=$(sed -n 's/.*"batch_rows_total{op='"$op"'}": *\([0-9]*\).*/\1/p' "$WORK/pipe-metrics.json" | head -1)
+	if [ -z "$n" ] || [ "$n" -lt 1024 ]; then
+		echo "smoke: batch_rows_total{op=$op}=$n, want >= 1024" >&2
+		cat "$WORK/pipe-metrics.json" >&2
+		exit 1
+	fi
+done
+
+echo "smoke: phase 9 ok (filterBatch -> clusterBatch chained binary, 1024 rows per hop)"
 echo "smoke: ok"

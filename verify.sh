@@ -4,8 +4,11 @@
 # registry sweep races under -race), then the end-to-end smoke: live
 # dmserver probes, traced dmexp batch, chaos failover, the admission
 # flood + graceful-drain drill, the model-store replica-failover drill,
-# the 1024-row dmb1 classifyBatch drill, the 30s replica-churn soak, and
-# the journaled-workflow kill/resume drill.
+# the 1024-row dmb1 classifyBatch drill, the 30s replica-churn soak,
+# the journaled-workflow kill/resume drill, and the chained
+# filterBatch -> clusterBatch binary-pipeline drill. The columnar batch
+# kernels (cluster/regress/filter) get a targeted -race sweep of their
+# bit-identity tests.
 # Run from the repo root.
 set -eux
 
@@ -61,6 +64,12 @@ rm -f "$SOAK_OUT"
 # (built on first access, invalidated by row mutation) must hold under
 # the race detector.
 go test -race ./internal/wire/ ./internal/dataset/
+
+# The columnar batch kernels ride the same gate: every registered
+# clusterer, regressor and filter's batch path is swept for Float64bits
+# identity against its row path, under -race so the column snapshots
+# and the lazy cache interleave for real.
+go test -race -run 'Batch' ./internal/cluster/ ./internal/regress/ ./internal/filter/
 
 # Durable workflows and hedged dispatch get their own -race pass: the
 # crash-at-every-step resume sweep, the journal torn-tail recovery, and
